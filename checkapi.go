@@ -1,0 +1,29 @@
+package nexsort
+
+import (
+	"fmt"
+	"io"
+
+	"nexsort/internal/check"
+)
+
+// CheckReport summarizes a sortedness verification.
+type CheckReport = check.Report
+
+// Violation is the first out-of-order sibling pair a Check found.
+type Violation = check.Violation
+
+// Check verifies, in one streaming pass, that the document read from r is
+// sorted under crit down to depthLimit (0 = every level): the child list
+// of every non-leaf element must have non-decreasing keys. It returns a
+// report either way; the error is non-nil only for malformed input.
+//
+// Use it to skip redundant sorts in pipelines ("is the base document still
+// sorted before applying this batch?") and as the acceptance test for
+// sorter output.
+func Check(r io.Reader, crit *Criterion, depthLimit int) (*CheckReport, error) {
+	if crit == nil {
+		return nil, fmt.Errorf("nexsort: Check requires a criterion")
+	}
+	return check.Document(r, crit, depthLimit)
+}

@@ -1,0 +1,65 @@
+// Command xmlcheck verifies in a single streaming pass that an XML
+// document is sorted under a criterion.
+//
+//	xmlcheck -by 'employee=@ID,*=name()' -in sorted.xml && echo "sorted"
+//
+// Exit status: 0 when sorted, 1 when a violation is found, 2 on usage or
+// input errors. The first violation is reported with its location.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nexsort"
+)
+
+func main() {
+	var (
+		inPath = flag.String("in", "", "input XML file (default stdin)")
+		by     = flag.String("by", "", "ordering criterion, e.g. '@ID' (required)")
+		depth  = flag.Int("depth", 0, "check down to this level only (0 = all levels)")
+		quiet  = flag.Bool("q", false, "no output; exit status only")
+	)
+	flag.Parse()
+
+	if *by == "" {
+		fmt.Fprintln(os.Stderr, "xmlcheck: -by is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	crit, err := nexsort.ParseCriterion(*by)
+	if err != nil {
+		fatal(err)
+	}
+	var in io.Reader = os.Stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	rep, err := nexsort.Check(in, crit, *depth)
+	if err != nil {
+		fatal(err)
+	}
+	if rep.Sorted {
+		if !*quiet {
+			fmt.Printf("sorted: %d elements, %d text nodes\n", rep.Elements, rep.TextNodes)
+		}
+		return
+	}
+	if !*quiet {
+		fmt.Println(rep.Violation.Error())
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmlcheck:", err)
+	os.Exit(2)
+}

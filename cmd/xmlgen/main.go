@@ -1,0 +1,108 @@
+// Command xmlgen generates the XML workloads of the paper's evaluation.
+//
+//	xmlgen -shape ibm -height 5 -fanout 8 -max-elements 100000 > doc.xml
+//	xmlgen -shape custom -fanouts 144,144,144 > table2-h4.xml
+//	xmlgen -shape capped -elements 1000000 -fanout 85 > fig6.xml
+//
+// Shapes:
+//
+//	ibm     the IBM alphaWorks style: height + max fan-out, each
+//	        element's fan-out uniform in [1, max]
+//	custom  exact fan-out per level (the Table 2 generator)
+//	capped  the Figure 6 construction: near-uniform shape of about
+//	        -elements elements with fan-outs capped at -fanout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"nexsort"
+)
+
+func main() {
+	var (
+		shape    = flag.String("shape", "custom", "ibm | custom | capped")
+		height   = flag.Int("height", 4, "ibm: number of levels")
+		fanout   = flag.Int("fanout", 10, "ibm/capped: maximum fan-out")
+		fanouts  = flag.String("fanouts", "10,10,10", "custom: per-level fan-outs, comma separated")
+		elements = flag.Int64("elements", 100000, "capped: target element count")
+		maxElems = flag.Int64("max-elements", 0, "ibm: stop after this many elements (0 = no cap)")
+		seed     = flag.Int64("seed", 1, "random seed (documents are reproducible)")
+		elemSize = flag.Int("elem-size", 0, "average element size in bytes (0 = the paper's ~150)")
+		keyAttr  = flag.String("key", "", "sort-key attribute name (default \"key\")")
+		outPath  = flag.String("out", "", "output file (default stdout)")
+		quiet    = flag.Bool("q", false, "suppress the stats line on stderr")
+	)
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		out = f
+	}
+
+	var spec nexsort.Generator
+	switch *shape {
+	case "ibm":
+		spec = nexsort.IBMSpec{
+			Height:      *height,
+			MaxFanout:   *fanout,
+			MaxElements: *maxElems,
+			Seed:        *seed,
+			ElemSize:    *elemSize,
+			KeyAttr:     *keyAttr,
+		}
+	case "custom":
+		fans, err := parseFanouts(*fanouts)
+		if err != nil {
+			fatal(err)
+		}
+		spec = nexsort.CustomSpec{Fanouts: fans, Seed: *seed, ElemSize: *elemSize, KeyAttr: *keyAttr}
+	case "capped":
+		cs := nexsort.CappedShape(*elements, *fanout)
+		cs.Seed, cs.ElemSize, cs.KeyAttr = *seed, *elemSize, *keyAttr
+		spec = cs
+	default:
+		fatal(fmt.Errorf("unknown shape %q", *shape))
+	}
+
+	stats, err := nexsort.Generate(spec, out)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "xmlgen: %d elements, height %d, max fan-out %d, %d bytes\n",
+			stats.Elements, stats.Height, stats.MaxFanout, stats.Bytes)
+	}
+}
+
+func parseFanouts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	fans := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad fan-out %q: %w", p, err)
+		}
+		fans = append(fans, n)
+	}
+	return fans, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xmlgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+package nexsort
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseCriterion builds a Criterion from a compact textual spec, the
+// format the command-line tools use. The spec is a comma-separated list of
+// rules, each "tag=source", where tag is an element name ("*" or empty for
+// any element) and source is one of:
+//
+//	@attr          the value of attribute attr
+//	name()         the element's tag name
+//	text()         the element's first direct text child
+//	a/b/text()     the first text of the first descendant chain a/b
+//
+// Rules apply first-match-wins, e.g.:
+//
+//	region=@name,branch=@name,employee=@ID,*=name()
+//
+// A spec with no '=' is shorthand for a single wildcard rule, so "@ID"
+// orders every element by its ID attribute.
+func ParseCriterion(spec string) (*Criterion, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("nexsort: empty criterion spec")
+	}
+	c := &Criterion{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		tag, srcSpec := "", part
+		if i := strings.Index(part, "="); i >= 0 {
+			tag, srcSpec = strings.TrimSpace(part[:i]), strings.TrimSpace(part[i+1:])
+		}
+		if tag == "*" {
+			tag = ""
+		}
+		src, err := parseSource(srcSpec)
+		if err != nil {
+			return nil, fmt.Errorf("nexsort: rule %q: %w", part, err)
+		}
+		c.Rules = append(c.Rules, Rule{Tag: tag, Source: src})
+	}
+	if len(c.Rules) == 0 {
+		return nil, fmt.Errorf("nexsort: criterion spec %q has no rules", spec)
+	}
+	return c, nil
+}
+
+func parseSource(s string) (Source, error) {
+	switch {
+	case strings.HasPrefix(s, "@"):
+		attr := s[1:]
+		if attr == "" {
+			return Source{}, fmt.Errorf("missing attribute name after '@'")
+		}
+		return ByAttr(attr), nil
+	case s == "name()":
+		return ByTag(), nil
+	case s == "text()":
+		return ByText(), nil
+	case strings.HasSuffix(s, "/text()"):
+		chain := strings.Split(strings.TrimSuffix(s, "/text()"), "/")
+		for _, step := range chain {
+			if step == "" {
+				return Source{}, fmt.Errorf("empty step in path %q", s)
+			}
+		}
+		return ByPath(chain...), nil
+	default:
+		return Source{}, fmt.Errorf("unknown key source %q (want @attr, name(), text(), or a/b/text())", s)
+	}
+}
+
+// MustParseCriterion is ParseCriterion that panics on error, for
+// package-level variables in examples and tests.
+func MustParseCriterion(spec string) *Criterion {
+	c, err := ParseCriterion(spec)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

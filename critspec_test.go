@@ -1,0 +1,77 @@
+package nexsort
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseCriterion(t *testing.T) {
+	c, err := ParseCriterion("region=@name, branch=@name ,employee=@ID,*=name()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Criterion{Rules: []Rule{
+		{Tag: "region", Source: ByAttr("name")},
+		{Tag: "branch", Source: ByAttr("name")},
+		{Tag: "employee", Source: ByAttr("ID")},
+		{Tag: "", Source: ByTag()},
+	}}
+	if !reflect.DeepEqual(c, want) {
+		t.Errorf("got %+v, want %+v", c, want)
+	}
+}
+
+func TestParseCriterionShorthand(t *testing.T) {
+	c, err := ParseCriterion("@ID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Rules) != 1 || c.Rules[0].Tag != "" || c.Rules[0].Source.Attr != "ID" {
+		t.Errorf("shorthand: %+v", c)
+	}
+}
+
+func TestParseCriterionSources(t *testing.T) {
+	c, err := ParseCriterion("a=text(),b=info/name/text(),c=name()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rules[0].Source.Kind != ByText().Kind {
+		t.Errorf("text() rule: %+v", c.Rules[0])
+	}
+	if got := c.Rules[1].Source.Path; !reflect.DeepEqual(got, []string{"info", "name"}) {
+		t.Errorf("path rule: %v", got)
+	}
+	if c.Rules[2].Source.Kind != ByTag().Kind {
+		t.Errorf("name() rule: %+v", c.Rules[2])
+	}
+}
+
+func TestParseCriterionErrors(t *testing.T) {
+	for _, spec := range []string{"", "  ", "a=@", "a=bogus", "a=/text()", "a=x//text()", ","} {
+		if _, err := ParseCriterion(spec); err == nil {
+			t.Errorf("spec %q should fail", spec)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseCriterion should panic on bad spec")
+		}
+	}()
+	MustParseCriterion("bad spec")
+}
+
+func TestParsedCriterionSorts(t *testing.T) {
+	c := MustParseCriterion("employee=@ID")
+	var out strings.Builder
+	_, err := Sort(strings.NewReader(`<r><employee ID="2"/><employee ID="1"/></r>`), &out,
+		Config{BlockSize: 256, MemoryBytes: 256 * 16, InMemory: true}, Options{Criterion: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `<r><employee ID="1"></employee><employee ID="2"></employee></r>`
+	if out.String() != want {
+		t.Errorf("got %s", out.String())
+	}
+}

@@ -1,0 +1,43 @@
+package nexsort
+
+import (
+	"io"
+
+	"nexsort/internal/gen"
+)
+
+// GenStats describes a generated document.
+type GenStats = gen.Stats
+
+// IBMSpec configures the IBM-alphaWorks-style workload generator used in
+// the paper's evaluation: the fan-out of each element is uniform in
+// [1, MaxFanout] and the tree is Height levels deep.
+type IBMSpec = gen.IBMSpec
+
+// CustomSpec configures the exact-shape generator behind the paper's
+// Table 2: the fan-out of every element at each level is fixed.
+type CustomSpec = gen.CustomSpec
+
+// Generator is a workload spec that can stream a document.
+type Generator interface {
+	Write(w io.Writer) (gen.Stats, error)
+}
+
+// Generate streams a workload document to w.
+func Generate(spec Generator, w io.Writer) (GenStats, error) { return spec.Write(w) }
+
+// Table2Spec returns the five document shapes of the paper's Table 2
+// (heights 2-6, about three million elements each).
+func Table2Spec() []CustomSpec { return gen.Table2Spec() }
+
+// ScaledShapeSeries returns Table 2's construction at a different scale:
+// one near-uniform shape per height 2..maxHeight with about target
+// elements each.
+func ScaledShapeSeries(target int64, maxHeight int) []CustomSpec {
+	return gen.ScaledShapeSeries(target, maxHeight)
+}
+
+// CappedShape returns the Figure 6 input construction: the smallest
+// near-uniform shape reaching about target elements with every fan-out
+// capped at maxFan.
+func CappedShape(target int64, maxFan int) CustomSpec { return gen.CappedShape(target, maxFan) }

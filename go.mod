@@ -1,0 +1,3 @@
+module nexsort
+
+go 1.22

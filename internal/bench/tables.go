@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"nexsort/internal/gen"
+	"nexsort/internal/keypath"
+)
+
+// Table is a rendered experiment: a title, a header, and formatted rows.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Fprint writes the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title + "\n")
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(fmt.Sprintf("%-*s", widths[i], cell))
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Header)
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func f2(v float64) string    { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string    { return fmt.Sprintf("%.3f", v) }
+func d64(v int64) string     { return fmt.Sprintf("%d", v) }
+func di(v int) string        { return fmt.Sprintf("%d", v) }
+func ratio(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// Fig5Table renders the Figure 5 series.
+func Fig5Table(rows []Fig5Row) *Table {
+	t := &Table{
+		Title: "Figure 5 — Effect of main memory size (sort time vs memory)",
+		Header: []string{"mem(KiB)", "nexsort IOs", "nexsort sim(s)", "mergesort IOs",
+			"mergesort sim(s)", "ms passes", "ms/nex"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			di(r.MemBytes / 1024),
+			d64(r.Nex.TotalIOs), f2(r.Nex.SimSeconds),
+			d64(r.Merge.TotalIOs), f2(r.Merge.SimSeconds),
+			di(r.Merge.Passes),
+			ratio(float64(r.Merge.TotalIOs) / float64(r.Nex.TotalIOs)),
+		})
+	}
+	return t
+}
+
+// Fig6Table renders the Figure 6 series.
+func Fig6Table(rows []Fig6Row) *Table {
+	t := &Table{
+		Title: "Figure 6 — Effect of input size with constant maximum fan-out (paper k<=85 at B~430; here k<=6 at B~27)",
+		Header: []string{"elements", "height", "nexsort IOs", "nexsort sim(s)",
+			"mergesort IOs", "mergesort sim(s)", "ms passes", "nex IOs/elem"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			d64(r.Elements), di(r.Stats.Height),
+			d64(r.Nex.TotalIOs), f2(r.Nex.SimSeconds),
+			d64(r.Merge.TotalIOs), f2(r.Merge.SimSeconds),
+			di(r.Merge.Passes),
+			f3(float64(r.Nex.TotalIOs) / float64(r.Elements) * 1000),
+		})
+	}
+	return t
+}
+
+// Fig7Table renders the Figure 7 series with its Table 2 shape columns.
+func Fig7Table(rows []Fig7Row) *Table {
+	t := &Table{
+		Title: "Figure 7 / Table 2 — Effect of input tree shape",
+		Header: []string{"height", "fan-out per level", "elements",
+			"nexsort IOs", "mergesort IOs", "nex sim(s)", "ms sim(s)", "winner"},
+	}
+	for _, r := range rows {
+		winner := "nexsort"
+		if r.Merge.TotalIOs < r.Nex.TotalIOs {
+			winner = "mergesort"
+		}
+		t.Rows = append(t.Rows, []string{
+			di(r.Height), fmt.Sprint(r.Fanouts), d64(r.Elements),
+			d64(r.Nex.TotalIOs), d64(r.Merge.TotalIOs),
+			f2(r.Nex.SimSeconds), f2(r.Merge.SimSeconds), winner,
+		})
+	}
+	return t
+}
+
+// ThresholdTable renders the sort-threshold sweep.
+func ThresholdTable(rows []ThresholdRow) *Table {
+	t := &Table{
+		Title:  "Sort threshold sweep (Section 5; curve omitted in the paper)",
+		Header: []string{"t (blocks)", "IOs", "sim(s)", "subtree sorts", "internal", "external"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%g", r.Threshold),
+			d64(r.Nex.TotalIOs), f2(r.Nex.SimSeconds),
+			di(r.Nex.SubtreeSorts), di(r.Nex.InternalSorts), di(r.Nex.ExternalSorts),
+		})
+	}
+	return t
+}
+
+// BoundsTable renders the bounds check.
+func BoundsTable(rows []BoundsRow) *Table {
+	t := &Table{
+		Title: "Theorem 4.4/4.5 check — measured NEXSORT I/Os vs analytic bounds (unit constants)",
+		Header: []string{"config", "N", "k", "m", "measured IOs",
+			"LB", "exact-LB", "UB", "flat-file", "measured/UB"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Label, d64(r.Model.N), di(r.Model.K), di(r.Model.M),
+			d64(r.Measured.TotalIOs),
+			f2(r.LB), d64(r.ExactLB), f2(r.UB), f2(r.Flat), f2(r.MeasuredOverUB),
+		})
+	}
+	return t
+}
+
+// Table1Render renders the key-path representation table.
+func Table1Render(rows []keypath.Row) *Table {
+	t := &Table{
+		Title:  "Table 1 — Key-path representation of D1",
+		Header: []string{"Key path", "Element content"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{r.Path, r.Content})
+	}
+	return t
+}
+
+// Table2Render renders the input shapes, paper-scale and as-run.
+func Table2Render(paper, scaled []gen.CustomSpec) *Table {
+	t := &Table{
+		Title:  "Table 2 — Input document shapes (paper scale | as run)",
+		Header: []string{"height", "paper fan-outs", "paper elements", "run fan-outs", "run elements"},
+	}
+	for i := range paper {
+		t.Rows = append(t.Rows, []string{
+			di(i + 2), fmt.Sprint(paper[i].Fanouts), d64(paper[i].Elements()),
+			fmt.Sprint(scaled[i].Fanouts), d64(scaled[i].Elements()),
+		})
+	}
+	return t
+}

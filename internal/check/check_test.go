@@ -1,0 +1,177 @@
+package check
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nexsort/internal/core"
+	"nexsort/internal/em"
+	"nexsort/internal/extsort"
+	"nexsort/internal/keys"
+)
+
+func attrCrit() *keys.Criterion {
+	return &keys.Criterion{Rules: []keys.Rule{{Tag: "", Source: keys.ByAttr("k")}}, KeyCap: 12}
+}
+
+func TestSortedDocumentPasses(t *testing.T) {
+	doc := `<r><a k="1"/><a k="2"><b k="x"/><b k="y"/></a><a k="2"/></r>`
+	rep, err := Document(strings.NewReader(doc), attrCrit(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sorted {
+		t.Errorf("sorted document flagged: %v", rep.Violation)
+	}
+	if rep.Elements != 6 {
+		t.Errorf("Elements = %d", rep.Elements)
+	}
+}
+
+func TestUnsortedDocumentCaught(t *testing.T) {
+	doc := `<r><a k="2"/><a k="1"/></r>`
+	rep, err := Document(strings.NewReader(doc), attrCrit(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sorted {
+		t.Fatal("unsorted document passed")
+	}
+	v := rep.Violation
+	if v.Element != "a" || v.Key != "1" || v.PrevKey != "2" || v.Parent != "r" || v.Level != 1 || v.Ordinal != 1 {
+		t.Errorf("violation = %+v", v)
+	}
+	if !strings.Contains(v.Error(), `key "1"`) {
+		t.Errorf("error text: %v", v)
+	}
+}
+
+func TestDeepViolation(t *testing.T) {
+	doc := `<r><a k="1"><b k="z"/><b k="a"/></a></r>`
+	rep, _ := Document(strings.NewReader(doc), attrCrit(), 0)
+	if rep.Sorted {
+		t.Fatal("nested violation missed")
+	}
+	if rep.Violation.Level != 2 || rep.Violation.Parent != "a" {
+		t.Errorf("violation = %+v", rep.Violation)
+	}
+	// With a depth limit of 1, the level-2 list is exempt.
+	rep, _ = Document(strings.NewReader(doc), attrCrit(), 1)
+	if !rep.Sorted {
+		t.Errorf("depth-limited check should pass: %v", rep.Violation)
+	}
+}
+
+func TestTextOrdering(t *testing.T) {
+	// Text sorts with the empty key: before keyed elements is fine,
+	// after them is a violation.
+	ok := `<r>hello<a k="1"/></r>`
+	rep, _ := Document(strings.NewReader(ok), attrCrit(), 0)
+	if !rep.Sorted {
+		t.Errorf("text-first flagged: %v", rep.Violation)
+	}
+	bad := `<r><a k="1"/>hello</r>`
+	rep, _ = Document(strings.NewReader(bad), attrCrit(), 0)
+	if rep.Sorted {
+		t.Error("text after keyed element should be a violation")
+	}
+	if rep.Violation.Element != "#text" {
+		t.Errorf("violation = %+v", rep.Violation)
+	}
+}
+
+func TestPathCriterionEndResolved(t *testing.T) {
+	c := &keys.Criterion{Rules: []keys.Rule{{Tag: "e", Source: keys.ByPath("v")}}, KeyCap: 12}
+	sorted := `<r><e><v>a</v></e><e><v>b</v></e></r>`
+	if err := MustBeSorted(strings.NewReader(sorted), c, 0); err != nil {
+		t.Errorf("sorted path-keyed doc flagged: %v", err)
+	}
+	unsorted := `<r><e><v>b</v></e><e><v>a</v></e></r>`
+	if err := MustBeSorted(strings.NewReader(unsorted), c, 0); err == nil {
+		t.Error("unsorted path-keyed doc passed")
+	}
+}
+
+func TestMalformedInput(t *testing.T) {
+	if _, err := Document(strings.NewReader("<a><b></a>"), attrCrit(), 0); err == nil {
+		t.Error("malformed input should error")
+	}
+}
+
+// TestSortersProduceCheckedOutput: every sorter's output passes the
+// checker on random documents — and a random unsorted document (almost
+// surely) fails it, so the checker is not vacuous.
+func TestSortersProduceCheckedOutput(t *testing.T) {
+	c := attrCrit()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomDoc(rng)
+
+		env, err := em.NewEnv(em.Config{BlockSize: 128, MemBlocks: 16})
+		if err != nil {
+			return false
+		}
+		defer env.Close()
+		var nex strings.Builder
+		if _, err := core.Sort(env, strings.NewReader(doc), &nex, core.Options{Criterion: c}); err != nil {
+			return false
+		}
+		if err := MustBeSorted(strings.NewReader(nex.String()), c, 0); err != nil {
+			return false
+		}
+
+		env2, err := em.NewEnv(em.Config{BlockSize: 128, MemBlocks: 16})
+		if err != nil {
+			return false
+		}
+		defer env2.Close()
+		var ms strings.Builder
+		if _, err := extsort.SortXML(env2, c, strings.NewReader(doc), &ms, extsort.XMLOptions{}); err != nil {
+			return false
+		}
+		return MustBeSorted(strings.NewReader(ms.String()), c, 0) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomDoc(rng *rand.Rand) string {
+	var sb strings.Builder
+	var emit func(depth, budget int) int
+	emit = func(depth, budget int) int {
+		if budget <= 0 {
+			return budget
+		}
+		sb.WriteString(`<x k="` + string(rune('0'+rng.Intn(10))) + `">`)
+		budget--
+		for i := rng.Intn(4); i > 0 && depth < 6; i-- {
+			budget = emit(depth+1, budget)
+		}
+		sb.WriteString("</x>")
+		return budget
+	}
+	sb.WriteString("<root>")
+	budget := 3 + rng.Intn(60)
+	for budget > 0 {
+		budget = emit(1, budget)
+	}
+	sb.WriteString("</root>")
+	return sb.String()
+}
+
+func TestReportCompletesAfterViolation(t *testing.T) {
+	doc := `<r><a k="9"/><a k="1"/><a k="5"/>tail</r>`
+	rep, err := Document(strings.NewReader(doc), attrCrit(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Elements != 4 || rep.TextNodes != 1 {
+		t.Errorf("counts after violation: %d elements, %d texts", rep.Elements, rep.TextNodes)
+	}
+	if rep.Sorted {
+		t.Error("should be unsorted")
+	}
+}

@@ -1,0 +1,143 @@
+package compact
+
+import (
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nexsort/internal/xmltok"
+)
+
+func TestDictionary(t *testing.T) {
+	d := NewDictionary()
+	a1 := d.Alias("employee")
+	a2 := d.Alias("region")
+	if a1 != "0" || a2 != "1" {
+		t.Errorf("aliases = %q, %q", a1, a2)
+	}
+	if d.Alias("employee") != "0" {
+		t.Error("alias not stable")
+	}
+	if n, err := d.Name("0"); err != nil || n != "employee" {
+		t.Errorf("Name(0) = %q, %v", n, err)
+	}
+	if _, err := d.Name("7"); err == nil {
+		t.Error("unknown alias should fail")
+	}
+	if _, err := d.Name("x"); err == nil {
+		t.Error("non-numeric alias should fail")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestEncodeDecodeStream(t *testing.T) {
+	doc := `<company><region name="NE"><branch name="Durham"/></region>text</company>`
+	p := xmltok.NewParser(strings.NewReader(doc), xmltok.DefaultParserOptions())
+	dict := NewDictionary()
+	enc := NewEncoder(dict)
+	dec := NewDecoder(dict)
+	var orig, roundTripped []xmltok.Token
+	var compactBytes, plainBytes int
+	for {
+		tok, err := p.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig = append(orig, tok)
+		plainBytes += xmltok.EncodedSize(tok)
+		ctok := enc.Encode(tok)
+		compactBytes += xmltok.EncodedSize(ctok)
+		if ctok.Kind == xmltok.KindEnd && ctok.Name != "" {
+			t.Error("end tag name not elided")
+		}
+		back, err := dec.Decode(ctok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		roundTripped = append(roundTripped, back)
+	}
+	if !reflect.DeepEqual(orig, roundTripped) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", roundTripped, orig)
+	}
+	if compactBytes >= plainBytes {
+		t.Errorf("compaction grew the stream: %d >= %d", compactBytes, plainBytes)
+	}
+	if dec.Depth() != 0 {
+		t.Errorf("decoder left %d elements open", dec.Depth())
+	}
+}
+
+func TestDecoderErrors(t *testing.T) {
+	dict := NewDictionary()
+	dec := NewDecoder(dict)
+	if _, err := dec.Decode(xmltok.Token{Kind: xmltok.KindEnd}); err == nil {
+		t.Error("end with nothing open should fail")
+	}
+	if _, err := dec.Decode(xmltok.Token{Kind: xmltok.KindStart, Name: "9"}); err == nil {
+		t.Error("unknown alias should fail")
+	}
+}
+
+func TestRunPtrPassThrough(t *testing.T) {
+	dict := NewDictionary()
+	enc := NewEncoder(dict)
+	dec := NewDecoder(dict)
+	ptr := xmltok.Token{Kind: xmltok.KindRunPtr, Run: 5, Name: "collapsed", Key: "k", HasKey: true}
+	cp := enc.Encode(ptr)
+	if cp.Run != 5 || cp.Key != "k" {
+		t.Errorf("encode mangled run ptr: %+v", cp)
+	}
+	back, err := dec.Decode(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, ptr) {
+		t.Errorf("round trip: %+v vs %+v", back, ptr)
+	}
+}
+
+// Property: encode/decode round-trips random well-formed streams and the
+// decoder's stack stays balanced.
+func TestCompactQuick(t *testing.T) {
+	names := []string{"alpha", "beta-element", "g", "delta.longish_name"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dict := NewDictionary()
+		enc := NewEncoder(dict)
+		dec := NewDecoder(dict)
+		var stack []string
+		steps := 5 + rng.Intn(60)
+		for i := 0; i < steps; i++ {
+			var tok xmltok.Token
+			switch {
+			case len(stack) == 0 || rng.Intn(3) > 0:
+				tok = xmltok.Token{Kind: xmltok.KindStart, Name: names[rng.Intn(len(names))]}
+				if rng.Intn(2) == 0 {
+					tok.Attrs = []xmltok.Attr{{Name: names[rng.Intn(len(names))], Value: "v"}}
+				}
+				stack = append(stack, tok.Name)
+			case rng.Intn(2) == 0:
+				tok = xmltok.Token{Kind: xmltok.KindText, Text: "t"}
+			default:
+				tok = xmltok.Token{Kind: xmltok.KindEnd, Name: stack[len(stack)-1]}
+				stack = stack[:len(stack)-1]
+			}
+			back, err := dec.Decode(enc.Encode(tok))
+			if err != nil || !reflect.DeepEqual(back, tok) {
+				return false
+			}
+		}
+		return dec.Depth() == len(stack)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

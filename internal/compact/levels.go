@@ -1,0 +1,169 @@
+package compact
+
+import (
+	"fmt"
+	"io"
+
+	"nexsort/internal/xmltok"
+)
+
+// Level-stamped streams: the paper's full end-tag elimination.
+//
+// "In fact, we can eliminate end tags altogether if we keep level numbers
+// with start tags. ... End tags can be recovered using the intuition that
+// in a series of start tags, any transition from a start tag on level l1 to
+// a start tag on the same or a higher level l2, where l2 <= l1, must have
+// l1 − l2 + 1 end tags in between to close elements on lower levels."
+//
+// LevelCompressor drops every end token from a stream and stamps each
+// remaining token (start tags, text, run pointers) with its nesting level;
+// LevelExpander reverses the transform, maintaining "a structure similar to
+// the path stack, which records the tag names and level numbers of unclosed
+// open tags" to regenerate the end tags. Compose with the name Dictionary
+// for the complete Section 3.2 compaction stack.
+
+// LevelCompressor converts a token stream into level-stamped form.
+type LevelCompressor struct {
+	depth int
+}
+
+// NewLevelCompressor returns a compressor whose first start tag will be
+// stamped level 1.
+func NewLevelCompressor() *LevelCompressor { return &LevelCompressor{} }
+
+// Compress processes one token: start tags come back stamped with their
+// level, text and run pointers with their (child) level, and end tags come
+// back with ok=false — they carry no information the levels do not.
+func (c *LevelCompressor) Compress(tok xmltok.Token) (out xmltok.Token, ok bool) {
+	switch tok.Kind {
+	case xmltok.KindStart:
+		c.depth++
+		tok.Level = c.depth
+		return tok, true
+	case xmltok.KindEnd:
+		if c.depth > 0 {
+			c.depth--
+		}
+		return tok, false
+	default: // text, run pointers: children of the current element
+		tok.Level = c.depth + 1
+		return tok, true
+	}
+}
+
+// Depth returns the number of currently open elements.
+func (c *LevelCompressor) Depth() int { return c.depth }
+
+// LevelExpander reconstructs the full token stream from level-stamped
+// tokens. Feed tokens with Expand; it returns the tokens to emit in order
+// (zero or more synthesized end tags followed by the input token). Call
+// Finish at end of stream for the trailing end tags.
+type LevelExpander struct {
+	open []string // names of unclosed open tags, the paper's stack
+}
+
+// NewLevelExpander returns an empty expander.
+func NewLevelExpander() *LevelExpander { return &LevelExpander{} }
+
+// Expand processes one level-stamped token, appending the reconstructed
+// tokens to dst and returning it.
+func (e *LevelExpander) Expand(dst []xmltok.Token, tok xmltok.Token) ([]xmltok.Token, error) {
+	if tok.Kind == xmltok.KindEnd {
+		return dst, fmt.Errorf("compact: end tag in a level-stamped stream")
+	}
+	level := tok.Level
+	if level < 1 {
+		return dst, fmt.Errorf("compact: token without a level stamp")
+	}
+	// A transition to level l closes open elements at levels >= l (for
+	// start tags) or > l-1 (for child tokens, same arithmetic).
+	for len(e.open) >= level {
+		dst = append(dst, xmltok.Token{Kind: xmltok.KindEnd, Name: e.open[len(e.open)-1]})
+		e.open = e.open[:len(e.open)-1]
+	}
+	if tok.Kind == xmltok.KindStart {
+		if level != len(e.open)+1 {
+			return dst, fmt.Errorf("compact: start tag at level %d with %d open elements", level, len(e.open))
+		}
+		e.open = append(e.open, tok.Name)
+	} else if level != len(e.open)+1 {
+		return dst, fmt.Errorf("compact: child token at level %d with %d open elements", level, len(e.open))
+	}
+	out := tok
+	out.Level = 0
+	return append(dst, out), nil
+}
+
+// Finish appends the end tags for all still-open elements.
+func (e *LevelExpander) Finish(dst []xmltok.Token) []xmltok.Token {
+	for len(e.open) > 0 {
+		dst = append(dst, xmltok.Token{Kind: xmltok.KindEnd, Name: e.open[len(e.open)-1]})
+		e.open = e.open[:len(e.open)-1]
+	}
+	return dst
+}
+
+// Depth returns the number of currently open elements.
+func (e *LevelExpander) Depth() int { return len(e.open) }
+
+// CompressStream applies the level transform to a whole token source,
+// writing the stamped binary encoding to w, and returns the byte count.
+// It is the storage-format entry point: a level-stamped binary file is the
+// most compact form this repository offers for spooling XML.
+func CompressStream(src interface{ Next() (xmltok.Token, error) }, w io.Writer) (int64, error) {
+	c := NewLevelCompressor()
+	var buf []byte
+	var total int64
+	for {
+		tok, err := src.Next()
+		if err == io.EOF {
+			if c.Depth() != 0 {
+				return total, fmt.Errorf("compact: stream ended with %d open elements", c.Depth())
+			}
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+		out, ok := c.Compress(tok)
+		if !ok {
+			continue
+		}
+		buf = xmltok.AppendToken(buf[:0], out)
+		n, err := w.Write(buf)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// ExpandStream decodes a level-stamped binary stream produced by
+// CompressStream, invoking emit for every reconstructed token.
+func ExpandStream(r io.ByteReader, emit func(xmltok.Token) error) error {
+	e := NewLevelExpander()
+	var pending []xmltok.Token
+	for {
+		tok, err := xmltok.ReadToken(r)
+		if err == io.EOF {
+			for _, t := range e.Finish(pending[:0]) {
+				if err := emit(t); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		pending, err = e.Expand(pending[:0], tok)
+		if err != nil {
+			return err
+		}
+		for _, t := range pending {
+			if err := emit(t); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package compact
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nexsort/internal/xmltok"
+)
+
+type parserSource struct{ p *xmltok.Parser }
+
+func (s parserSource) Next() (xmltok.Token, error) { return s.p.Next() }
+
+func parseSource(doc string) parserSource {
+	return parserSource{xmltok.NewParser(strings.NewReader(doc), xmltok.DefaultParserOptions())}
+}
+
+func TestLevelRoundTripByHand(t *testing.T) {
+	doc := `<a><b><c>x</c></b><d/>tail</a>`
+	var buf bytes.Buffer
+	n, err := CompressStream(parseSource(doc), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("byte count %d vs buffer %d", n, buf.Len())
+	}
+	var got []xmltok.Token
+	if err := ExpandStream(bytes.NewReader(buf.Bytes()), func(tok xmltok.Token) error {
+		got = append(got, tok)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []xmltok.Token{
+		{Kind: xmltok.KindStart, Name: "a"},
+		{Kind: xmltok.KindStart, Name: "b"},
+		{Kind: xmltok.KindStart, Name: "c"},
+		{Kind: xmltok.KindText, Text: "x"},
+		{Kind: xmltok.KindEnd, Name: "c"},
+		{Kind: xmltok.KindEnd, Name: "b"},
+		{Kind: xmltok.KindStart, Name: "d"},
+		{Kind: xmltok.KindEnd, Name: "d"},
+		{Kind: xmltok.KindText, Text: "tail"},
+		{Kind: xmltok.KindEnd, Name: "a"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestLevelSavings measures the paper's claim: dropping end tags shrinks
+// the stored stream.
+func TestLevelSavings(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("<inventory-database>")
+	for i := 0; i < 200; i++ {
+		sb.WriteString(`<warehouse-record code="x"><quantity>5</quantity></warehouse-record>`)
+	}
+	sb.WriteString("</inventory-database>")
+
+	var plain int64
+	src := parseSource(sb.String())
+	for {
+		tok, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain += int64(xmltok.EncodedSize(tok))
+	}
+	var buf bytes.Buffer
+	stamped, err := CompressStream(parseSource(sb.String()), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stamped >= plain {
+		t.Errorf("level stamping did not shrink the stream: %d >= %d", stamped, plain)
+	}
+	t.Logf("plain %d bytes, level-stamped %d bytes (%.1f%% saved)",
+		plain, stamped, 100*(1-float64(stamped)/float64(plain)))
+}
+
+func TestLevelExpanderErrors(t *testing.T) {
+	e := NewLevelExpander()
+	if _, err := e.Expand(nil, xmltok.Token{Kind: xmltok.KindEnd, Name: "a"}); err == nil {
+		t.Error("end tag should be rejected")
+	}
+	if _, err := e.Expand(nil, xmltok.Token{Kind: xmltok.KindStart, Name: "a"}); err == nil {
+		t.Error("unstamped token should be rejected")
+	}
+	if _, err := e.Expand(nil, xmltok.Token{Kind: xmltok.KindStart, Name: "a", Level: 3}); err == nil {
+		t.Error("level gap should be rejected")
+	}
+	c := NewLevelCompressor()
+	if _, ok := c.Compress(xmltok.Token{Kind: xmltok.KindEnd, Name: "x"}); ok {
+		t.Error("end tags must be swallowed")
+	}
+	// Unbalanced stream caught at CompressStream.
+	if _, err := CompressStream(parseSource("<a><b></b></a>"), io.Discard); err != nil {
+		t.Errorf("balanced stream rejected: %v", err)
+	}
+}
+
+// Property: compress/expand round-trips random well-formed documents and
+// composes with the name dictionary.
+func TestLevelRoundTripQuick(t *testing.T) {
+	f := func(seed int64, withDict bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomLevelDoc(rng)
+
+		// Reference token stream.
+		var want []xmltok.Token
+		ref := parseSource(doc)
+		for {
+			tok, err := ref.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return false
+			}
+			want = append(want, tok)
+		}
+
+		dict := NewDictionary()
+		enc := NewEncoder(dict)
+		dec := NewDecoder(dict)
+		comp := NewLevelCompressor()
+		exp := NewLevelExpander()
+
+		src := parseSource(doc)
+		var got []xmltok.Token
+		var pending []xmltok.Token
+		for {
+			tok, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return false
+			}
+			if withDict {
+				tok = enc.Encode(tok)
+			}
+			out, ok := comp.Compress(tok)
+			if !ok {
+				continue
+			}
+			pending, err = exp.Expand(pending[:0], out)
+			if err != nil {
+				return false
+			}
+			for _, t2 := range pending {
+				if withDict {
+					if t2, err = dec.Decode(t2); err != nil {
+						return false
+					}
+				}
+				got = append(got, t2)
+			}
+		}
+		pending = exp.Finish(pending[:0])
+		for _, t2 := range pending {
+			var err error
+			if withDict {
+				if t2, err = dec.Decode(t2); err != nil {
+					return false
+				}
+			}
+			got = append(got, t2)
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomLevelDoc(rng *rand.Rand) string {
+	var sb strings.Builder
+	var emit func(depth, budget int) int
+	emit = func(depth, budget int) int {
+		if budget <= 0 {
+			return budget
+		}
+		tag := string(rune('a' + rng.Intn(3)))
+		sb.WriteString("<" + tag + ">")
+		budget--
+		for i := rng.Intn(4); i > 0; i-- {
+			if rng.Intn(3) == 0 {
+				sb.WriteString("t" + string(rune('0'+rng.Intn(10))))
+			} else if depth < 8 {
+				budget = emit(depth+1, budget)
+			}
+		}
+		sb.WriteString("</" + tag + ">")
+		return budget
+	}
+	sb.WriteString("<root>")
+	budget := 1 + rng.Intn(50)
+	for budget > 0 {
+		budget = emit(1, budget)
+	}
+	sb.WriteString("</root>")
+	return sb.String()
+}

@@ -1,0 +1,578 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nexsort/internal/em"
+	"nexsort/internal/extsort"
+	"nexsort/internal/gen"
+	"nexsort/internal/keys"
+	"nexsort/internal/xmltree"
+)
+
+// paperDoc is D1 from Figure 1 (pre-sorting order).
+const paperDoc = `<company>
+  <region name="NE">
+    <branch name="Durham">
+      <employee ID="454"/>
+      <employee ID="323"><name>Smith</name><phone>5552345</phone></employee>
+    </branch>
+    <branch name="Atlanta"/>
+  </region>
+  <region name="AC"><branch name="Miami"/><branch name="Durham"/></region>
+</company>`
+
+func paperCriterion() *keys.Criterion {
+	return &keys.Criterion{Rules: []keys.Rule{
+		{Tag: "region", Source: keys.ByAttr("name")},
+		{Tag: "branch", Source: keys.ByAttr("name")},
+		{Tag: "employee", Source: keys.ByAttr("ID")},
+		{Tag: "", Source: keys.ByTag()},
+	}, KeyCap: 24}
+}
+
+func newEnv(t *testing.T, blockSize, memBlocks int) *em.Env {
+	t.Helper()
+	env, err := em.NewEnv(em.Config{BlockSize: blockSize, MemBlocks: memBlocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { env.Close() })
+	return env
+}
+
+// oracle sorts a document with the in-memory recursive sorter.
+func oracle(t *testing.T, doc string, c *keys.Criterion, depth int) string {
+	t.Helper()
+	n, err := xmltree.ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.ComputeKeys(c)
+	n.SortToDepth(depth)
+	return n.XMLString()
+}
+
+// nexsort runs Sort and returns the output document and report.
+func nexsort(t *testing.T, env *em.Env, doc string, opts Options) (string, *Report) {
+	t.Helper()
+	var out strings.Builder
+	rep, err := Sort(env, strings.NewReader(doc), &out, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Budget.InUse() != 0 {
+		t.Fatalf("sort leaked %d budget blocks", env.Budget.InUse())
+	}
+	return out.String(), rep
+}
+
+func TestSortPaperDocument(t *testing.T) {
+	env := newEnv(t, 128, 16)
+	got, rep := nexsort(t, env, paperDoc, Options{Criterion: paperCriterion()})
+	want := oracle(t, paperDoc, paperCriterion(), 0)
+	if got != want {
+		t.Errorf("output:\n got %s\nwant %s", got, want)
+	}
+	// company + 2 regions + 4 branches + 2 employees + name + phone = 11.
+	if rep.Elements != 11 {
+		t.Errorf("Elements = %d, want 11", rep.Elements)
+	}
+	if rep.TextNodes != 2 {
+		t.Errorf("TextNodes = %d, want 2", rep.TextNodes)
+	}
+	if rep.Height != 5 {
+		t.Errorf("Height = %d, want 5", rep.Height)
+	}
+	if rep.SubtreeSorts < 1 {
+		t.Error("expected at least the root sort")
+	}
+	if rep.OutputBytes == 0 || rep.InputBytes == 0 {
+		t.Errorf("byte counts: in=%d out=%d", rep.InputBytes, rep.OutputBytes)
+	}
+}
+
+// TestThresholdCollapse reproduces Figure 2: a subtree at least t bytes is
+// collapsed into a run when its end tag arrives; smaller subtrees ride
+// along until an ancestor is sorted. With a huge threshold only the root
+// sort happens; with a tiny one every element gets its own run.
+func TestThresholdCollapse(t *testing.T) {
+	env1 := newEnv(t, 128, 16)
+	_, repBig := nexsort(t, env1, paperDoc, Options{Criterion: paperCriterion(), Threshold: 1 << 20})
+	if repBig.SubtreeSorts != 1 {
+		t.Errorf("huge threshold: %d subtree sorts, want 1 (root only)", repBig.SubtreeSorts)
+	}
+
+	env2 := newEnv(t, 128, 16)
+	_, repTiny := nexsort(t, env2, paperDoc, Options{Criterion: paperCriterion(), Threshold: 1})
+	// With t=1 every element whose complete subtree is on the stack is
+	// collapsed: all 11 elements.
+	if repTiny.SubtreeSorts != 11 {
+		t.Errorf("tiny threshold: %d subtree sorts, want 11", repTiny.SubtreeSorts)
+	}
+	// Both produce identical output.
+	want := oracle(t, paperDoc, paperCriterion(), 0)
+	env3 := newEnv(t, 128, 16)
+	got, _ := nexsort(t, env3, paperDoc, Options{Criterion: paperCriterion(), Threshold: 1})
+	if got != want {
+		t.Error("tiny-threshold output differs from oracle")
+	}
+}
+
+func TestMatchesBaselineByteForByte(t *testing.T) {
+	c := paperCriterion()
+	envA := newEnv(t, 128, 16)
+	nexOut, _ := nexsort(t, envA, paperDoc, Options{Criterion: c})
+
+	envB := newEnv(t, 128, 16)
+	var mergeOut strings.Builder
+	if _, err := extsort.SortXML(envB, c, strings.NewReader(paperDoc), &mergeOut, extsort.XMLOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if nexOut != mergeOut.String() {
+		t.Errorf("NEXSORT and merge-sort baseline disagree:\n nex %s\n ems %s", nexOut, mergeOut.String())
+	}
+}
+
+func TestExternalSubtreeSortPath(t *testing.T) {
+	// A single giant flat element under the root forces the root subtree
+	// sort to exceed the in-memory area (without degeneration), taking
+	// the key-path external fallback.
+	var sb strings.Builder
+	sb.WriteString(`<root key="r">`)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&sb, `<item key="%04d">some text payload %d</item>`, rng.Intn(10000), i)
+	}
+	sb.WriteString(`</root>`)
+	doc := sb.String()
+	c := &keys.Criterion{Rules: []keys.Rule{{Tag: "", Source: keys.ByAttr("key")}}, KeyCap: 16}
+
+	env := newEnv(t, 256, MinMemBlocks)
+	got, rep := nexsort(t, env, doc, Options{Criterion: c})
+	if rep.ExternalSorts == 0 {
+		t.Fatalf("expected an external subtree sort; report = %+v", rep)
+	}
+	if got != oracle(t, doc, c, 0) {
+		t.Error("external-fallback output differs from oracle")
+	}
+}
+
+func TestDepthLimitedSort(t *testing.T) {
+	doc := `<r key="1"><g key="b"><i key="z"><leaf key="2"/><leaf key="1"/></i><i key="a"/></g><g key="a"><i key="q"><leaf key="9"/><leaf key="0"/></i></g></r>`
+	c := &keys.Criterion{Rules: []keys.Rule{{Tag: "", Source: keys.ByAttr("key")}}, KeyCap: 16}
+	for depth := 1; depth <= 4; depth++ {
+		env := newEnv(t, 128, 16)
+		got, _ := nexsort(t, env, doc, Options{Criterion: c, DepthLimit: depth, Threshold: 1})
+		want := oracle(t, doc, c, depth)
+		if got != want {
+			t.Errorf("depth %d:\n got %s\nwant %s", depth, got, want)
+		}
+	}
+}
+
+func TestComplexOrderingCriteria(t *testing.T) {
+	doc := `<staff key="s">
+	  <emp><info><name><last>Zeta</last></name></info></emp>
+	  <emp><info><name><last>Alpha</last></name></info></emp>
+	  <emp><info><name><last>Mid</last></name></info></emp>
+	</staff>`
+	c := &keys.Criterion{
+		Rules:  []keys.Rule{{Tag: "emp", Source: keys.ByPath("info", "name", "last")}},
+		KeyCap: 16,
+	}
+	env := newEnv(t, 128, 16)
+	got, _ := nexsort(t, env, doc, Options{Criterion: c})
+	want := oracle(t, doc, c, 0)
+	if got != want {
+		t.Errorf("path-criterion sort:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestComplexCriteriaExternalFallback(t *testing.T) {
+	// Path criterion + oversized subtree: exercises the key sidecar.
+	var sb strings.Builder
+	sb.WriteString("<root>")
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&sb, "<e><v>k%04d</v>filler-%d</e>", rng.Intn(10000), i)
+	}
+	sb.WriteString("</root>")
+	doc := sb.String()
+	c := &keys.Criterion{Rules: []keys.Rule{{Tag: "e", Source: keys.ByPath("v")}}, KeyCap: 16}
+
+	env := newEnv(t, 256, MinMemBlocks+3)
+	got, rep := nexsort(t, env, doc, Options{Criterion: c})
+	if rep.ExternalSorts == 0 {
+		t.Fatalf("expected the external fallback; report = %+v", rep)
+	}
+	if got != oracle(t, doc, c, 0) {
+		t.Error("sidecar-keyed external sort differs from oracle")
+	}
+}
+
+func TestNilCriterionPreservesDocumentOrder(t *testing.T) {
+	doc := `<r><b x="2"/><a x="1"/>text<c/></r>`
+	env := newEnv(t, 128, 16)
+	got, _ := nexsort(t, env, doc, Options{})
+	want := `<r><b x="2"></b><a x="1"></a>text<c></c></r>`
+	if got != want {
+		t.Errorf("empty criterion:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestIndentedOutput(t *testing.T) {
+	env := newEnv(t, 128, 16)
+	got, _ := nexsort(t, env, `<r><b key="2"/><a key="1"/></r>`, Options{
+		Criterion: &keys.Criterion{Rules: []keys.Rule{{Tag: "", Source: keys.ByAttr("key")}}, KeyCap: 8},
+		Indent:    "  ",
+	})
+	want := "<r>\n  <a key=\"1\"></a>\n  <b key=\"2\"></b>\n</r>\n"
+	if got != want {
+		t.Errorf("indented output:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	c := paperCriterion()
+	t.Run("malformed", func(t *testing.T) {
+		env := newEnv(t, 128, 16)
+		_, err := Sort(env, strings.NewReader("<a><b></a>"), io.Discard, Options{Criterion: c})
+		if err == nil {
+			t.Error("malformed input should fail")
+		}
+		if env.Budget.InUse() != 0 {
+			t.Errorf("leaked %d blocks on error", env.Budget.InUse())
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		env := newEnv(t, 128, 16)
+		if _, err := Sort(env, strings.NewReader("  "), io.Discard, Options{Criterion: c}); err == nil {
+			t.Error("empty input should fail")
+		}
+	})
+	t.Run("tiny budget", func(t *testing.T) {
+		env := newEnv(t, 128, MinMemBlocks-1)
+		if _, err := Sort(env, strings.NewReader("<a/>"), io.Discard, Options{Criterion: c}); err == nil {
+			t.Error("budget below the minimum should fail")
+		}
+	})
+	t.Run("oversized key cap", func(t *testing.T) {
+		env := newEnv(t, 64, 16)
+		big := &keys.Criterion{Rules: []keys.Rule{{Tag: "", Source: keys.ByTag()}}, KeyCap: 128}
+		if _, err := Sort(env, strings.NewReader("<a/>"), io.Discard, Options{Criterion: big}); err == nil {
+			t.Error("criterion state larger than a block should fail")
+		}
+	})
+	t.Run("negative depth", func(t *testing.T) {
+		env := newEnv(t, 128, 16)
+		if _, err := Sort(env, strings.NewReader("<a/>"), io.Discard, Options{Criterion: c, DepthLimit: -1}); err == nil {
+			t.Error("negative depth limit should fail")
+		}
+	})
+}
+
+// TestGeneratedDocumentAgainstOracle sorts a generated document of a few
+// thousand elements under a tight memory budget and cross-checks.
+func TestGeneratedDocumentAgainstOracle(t *testing.T) {
+	var buf strings.Builder
+	if _, err := (gen.CustomSpec{Fanouts: []int{12, 12, 12}, Seed: 5, ElemSize: 60}).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	c := &keys.Criterion{Rules: []keys.Rule{{Tag: "", Source: keys.ByAttr("key")}}, KeyCap: 16}
+
+	env := newEnv(t, 512, MinMemBlocks)
+	got, rep := nexsort(t, env, doc, Options{Criterion: c})
+	if got != oracle(t, doc, c, 0) {
+		t.Error("generated-document output differs from oracle")
+	}
+	if rep.Elements != 1885 { // 1 + 12 + 144 + 1728
+		t.Errorf("Elements = %d", rep.Elements)
+	}
+	if rep.SubtreeSorts < 10 {
+		t.Errorf("SubtreeSorts = %d, expected many under a small threshold", rep.SubtreeSorts)
+	}
+	// Cross-check with the baseline too: byte-identical output.
+	envB := newEnv(t, 512, MinMemBlocks)
+	var mergeOut strings.Builder
+	if _, err := extsort.SortXML(envB, c, strings.NewReader(doc), &mergeOut, extsort.XMLOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if mergeOut.String() != got {
+		t.Error("NEXSORT and baseline disagree on the generated document")
+	}
+}
+
+// TestSortQuick: NEXSORT equals the oracle on random documents across
+// random geometries, thresholds and depth limits.
+func TestSortQuick(t *testing.T) {
+	c := &keys.Criterion{Rules: []keys.Rule{{Tag: "", Source: keys.ByAttr("k")}}, KeyCap: 12}
+	f := func(seed int64, thrRaw, depthRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomXML(rng, 120)
+		env, err := em.NewEnv(em.Config{BlockSize: 128, MemBlocks: MinMemBlocks + rng.Intn(8)})
+		if err != nil {
+			return false
+		}
+		defer env.Close()
+		opts := Options{
+			Criterion:  c,
+			Threshold:  1 + int(thrRaw)%512,
+			DepthLimit: int(depthRaw) % 5, // 0 = unlimited
+		}
+		var out strings.Builder
+		if _, err := Sort(env, strings.NewReader(doc), &out, opts); err != nil {
+			return false
+		}
+		n, err := xmltree.ParseString(doc)
+		if err != nil {
+			return false
+		}
+		n.ComputeKeys(c)
+		n.SortToDepth(opts.DepthLimit)
+		return out.String() == n.XMLString() && env.Budget.InUse() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomXML builds a random well-formed document with attribute keys.
+func randomXML(rng *rand.Rand, maxElems int) string {
+	var sb strings.Builder
+	var emit func(depth, budget int) int
+	emit = func(depth, budget int) int {
+		if budget <= 0 {
+			return budget
+		}
+		tag := string(rune('a' + rng.Intn(3)))
+		fmt.Fprintf(&sb, `<%s k="%d">`, tag, rng.Intn(30))
+		budget--
+		for i := rng.Intn(4); i > 0; i-- {
+			if rng.Intn(3) == 0 {
+				fmt.Fprintf(&sb, "t%d", rng.Intn(10))
+			} else if depth < 10 {
+				budget = emit(depth+1, budget)
+			}
+		}
+		sb.WriteString("</" + tag + ">")
+		return budget
+	}
+	sb.WriteString(`<root k="r">`)
+	budget := 1 + rng.Intn(maxElems)
+	for budget > 0 {
+		budget = emit(1, budget)
+	}
+	sb.WriteString("</root>")
+	return sb.String()
+}
+
+// TestCompactionIdenticalOutput verifies the Section 3.2 compaction
+// techniques: identical output, smaller working structures.
+func TestCompactionIdenticalOutput(t *testing.T) {
+	// Verbose, repetitive markup — the case the paper's compaction
+	// targets: "a document usually contains many repeated occurrences of
+	// labels such as tag and attribute names".
+	rng := rand.New(rand.NewSource(8))
+	var buf strings.Builder
+	buf.WriteString(`<inventory-database sort-key="root">`)
+	for i := 0; i < 120; i++ {
+		fmt.Fprintf(&buf, `<warehouse-record sort-key="%04d"><quantity-on-hand sort-key="%d"/></warehouse-record>`,
+			rng.Intn(10000), rng.Intn(10))
+	}
+	buf.WriteString(`</inventory-database>`)
+	doc := buf.String()
+	c := &keys.Criterion{Rules: []keys.Rule{{Tag: "", Source: keys.ByAttr("sort-key")}}, KeyCap: 16}
+
+	envPlain := newEnv(t, 512, 16)
+	plain, repPlain := nexsort(t, envPlain, doc, Options{Criterion: c})
+	envComp := newEnv(t, 512, 16)
+	comp, repComp := nexsort(t, envComp, doc, Options{Criterion: c, Compact: true})
+
+	if plain != comp {
+		t.Error("compaction changed the output document")
+	}
+	if repComp.RunBlocks >= repPlain.RunBlocks {
+		t.Errorf("compaction did not shrink runs: %d vs %d blocks", repComp.RunBlocks, repPlain.RunBlocks)
+	}
+	if envComp.Stats.TotalIOs() >= envPlain.Stats.TotalIOs() {
+		t.Errorf("compaction did not reduce I/O: %d vs %d", envComp.Stats.TotalIOs(), envPlain.Stats.TotalIOs())
+	}
+}
+
+// TestCompactionQuick: compaction preserves output across random documents
+// and option mixes (with degeneration and depth limits thrown in).
+func TestCompactionQuick(t *testing.T) {
+	c := &keys.Criterion{Rules: []keys.Rule{{Tag: "", Source: keys.ByAttr("k")}}, KeyCap: 12}
+	f := func(seed int64, degen bool, depthRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomXML(rng, 100)
+		run := func(compactOn bool) (string, bool) {
+			env, err := em.NewEnv(em.Config{BlockSize: 128, MemBlocks: MinMemBlocksDegenerate})
+			if err != nil {
+				return "", false
+			}
+			defer env.Close()
+			var out strings.Builder
+			opts := Options{Criterion: c, Compact: compactOn, Degenerate: degen, DepthLimit: int(depthRaw) % 4}
+			if _, err := Sort(env, strings.NewReader(doc), &out, opts); err != nil {
+				return "", false
+			}
+			return out.String(), true
+		}
+		plain, ok1 := run(false)
+		comp, ok2 := run(true)
+		return ok1 && ok2 && plain == comp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRecordOrderRoundTrip implements the paper's order-preserving recipe:
+// sort with a recorded sequence attribute, then sort the result by that
+// attribute — the original document comes back (plus the stamps).
+func TestRecordOrderRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Element-only documents: text nodes cannot carry the stamp, so
+		// their position among element siblings is not restorable (a
+		// limitation the paper's recipe shares).
+		doc := randomElemXML(rng, 80)
+		c := &keys.Criterion{Rules: []keys.Rule{{Tag: "", Source: keys.ByAttr("k")}}, KeyCap: 12}
+
+		env1 := mustEnv()
+		defer env1.Close()
+		var sorted strings.Builder
+		if _, err := Sort(env1, strings.NewReader(doc), &sorted, Options{Criterion: c, RecordOrder: "nx-seq"}); err != nil {
+			return false
+		}
+		// Every element now carries the stamp.
+		if !strings.Contains(sorted.String(), `nx-seq="`) {
+			return false
+		}
+
+		env2 := mustEnv()
+		defer env2.Close()
+		seqCrit := &keys.Criterion{Rules: []keys.Rule{{Tag: "", Source: keys.ByAttr("nx-seq")}}, KeyCap: 16}
+		var restored strings.Builder
+		if _, err := Sort(env2, strings.NewReader(sorted.String()), &restored, Options{Criterion: seqCrit}); err != nil {
+			return false
+		}
+
+		// Stripping the stamps must reproduce the original document.
+		orig, err := xmltree.ParseString(doc)
+		if err != nil {
+			return false
+		}
+		back, err := xmltree.ParseString(restored.String())
+		if err != nil {
+			return false
+		}
+		stripAttr(back, "nx-seq")
+		return xmltree.Equal(orig, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomElemXML is randomXML without text nodes.
+func randomElemXML(rng *rand.Rand, maxElems int) string {
+	var sb strings.Builder
+	var emit func(depth, budget int) int
+	emit = func(depth, budget int) int {
+		if budget <= 0 {
+			return budget
+		}
+		tag := string(rune('a' + rng.Intn(3)))
+		fmt.Fprintf(&sb, `<%s k="%d">`, tag, rng.Intn(30))
+		budget--
+		for i := rng.Intn(4); i > 0 && depth < 10; i-- {
+			budget = emit(depth+1, budget)
+		}
+		sb.WriteString("</" + tag + ">")
+		return budget
+	}
+	sb.WriteString(`<root k="r">`)
+	budget := 1 + rng.Intn(maxElems)
+	for budget > 0 {
+		budget = emit(1, budget)
+	}
+	sb.WriteString("</root>")
+	return sb.String()
+}
+
+func mustEnv() *em.Env {
+	env, err := em.NewEnv(em.Config{BlockSize: 128, MemBlocks: 16})
+	if err != nil {
+		panic(err)
+	}
+	return env
+}
+
+func stripAttr(n *xmltree.Node, name string) {
+	kept := n.Attrs[:0]
+	for _, a := range n.Attrs {
+		if a.Name != name {
+			kept = append(kept, a)
+		}
+	}
+	n.Attrs = kept
+	for _, ch := range n.Children {
+		stripAttr(ch, name)
+	}
+}
+
+// TestHeterogeneousSchemaAtScale sorts an auction-site document (XMark-ish
+// schema, multi-rule criterion, mixed text) with all three implementations
+// and requires byte-identical output.
+func TestHeterogeneousSchemaAtScale(t *testing.T) {
+	var buf strings.Builder
+	st, err := (gen.SiteSpec{Items: 120, MaxBids: 8, Seed: 4}).Write(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	c := &keys.Criterion{Rules: []keys.Rule{
+		{Tag: "region", Source: keys.ByAttr("name")},
+		{Tag: "item", Source: keys.ByAttr("id")},
+		{Tag: "bid", Source: keys.ByAttr("amount")},
+	}, KeyCap: 16}
+
+	envN := newEnv(t, 1024, 24)
+	nexOut, rep := nexsort(t, envN, doc, Options{Criterion: c})
+	if rep.Elements != st.Elements {
+		t.Errorf("Elements = %d, want %d", rep.Elements, st.Elements)
+	}
+	want := oracle(t, doc, c, 0)
+	if nexOut != want {
+		t.Error("NEXSORT disagrees with the oracle on the site schema")
+	}
+	envM := newEnv(t, 1024, 24)
+	var msOut strings.Builder
+	if _, err := extsort.SortXML(envM, c, strings.NewReader(doc), &msOut, extsort.XMLOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if msOut.String() != want {
+		t.Error("merge sort disagrees with the oracle on the site schema")
+	}
+}
+
+func TestReportTotalIOs(t *testing.T) {
+	env := newEnv(t, 128, 16)
+	_, rep := nexsort(t, env, paperDoc, Options{Criterion: paperCriterion()})
+	var want int64
+	for _, c := range rep.IOs {
+		want += c.Total()
+	}
+	if got := rep.TotalIOs(); got != want || got == 0 {
+		t.Errorf("TotalIOs = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"nexsort/internal/em"
+	"nexsort/internal/keys"
+	"nexsort/internal/xmltree"
+)
+
+// Graceful degeneration into external merge sort (Section 3.2).
+//
+// The unmodified algorithm wastes a pass on flat inputs: the whole document
+// is pushed onto the data stack — paging most of it to disk — only to be
+// popped right back for the single root-level sort. The fix the paper
+// sketches: whenever the open element's accumulated (complete) children
+// fill the sort area, sort them in memory immediately and emit an
+// incomplete sorted run; the children never ride the data stack to disk.
+// At the element's end tag, its incomplete runs are handed to the merge
+// phase of the external sorter as pre-sorted initial runs — "we have
+// incorporated the first step of creating initial sorted runs for external
+// merge sort into the loop of Line 2" — so a flat document completes with
+// the same number of passes as external merge sort.
+
+// maybeCutIncomplete fires the degeneration trigger: when the deepest open
+// element's uncut child region reaches the sort area, cut it into an
+// incomplete sorted run.
+func (s *sorter) maybeCutIncomplete() error {
+	if !s.opts.Degenerate || s.path.Len() == 0 {
+		return nil
+	}
+	if err := s.path.Peek(s.pathBuf); err != nil {
+		return err
+	}
+	rec := unmarshalPathRec(s.pathBuf)
+	if s.data.Size()-rec.cutMark < s.cutCap {
+		return nil
+	}
+	return s.cutIncompleteRun(rec)
+}
+
+// cutIncompleteRun sorts the top element's uncut complete children in
+// memory and replaces them on the data stack with nothing — the batch
+// moves to an incomplete sorted run keyed by (child key, sibling seq).
+func (s *sorter) cutIncompleteRun(rec pathRec) error {
+	// The region is memory-resident by construction (the trigger fires
+	// before it can outgrow the data stack's resident window), so the
+	// in-memory sort below is modelled as in-place: no extra grant.
+
+	// Depth-limit translation for the element's children: the element is
+	// at level ds = path length; its child list is sorted iff ds <= d.
+	ds := int(s.path.Len())
+	d := s.opts.DepthLimit
+	listSorted := d == 0 || ds <= d
+
+	reader, err := s.data.ReadRange(s.env.Budget, rec.cutMark)
+	if err != nil {
+		return err
+	}
+	src := tokenSource{r: reader}
+	var nodes []*xmltree.Node
+	for {
+		node, last, err := nextChildNode(src)
+		if err != nil {
+			reader.Close()
+			return err
+		}
+		if last {
+			break
+		}
+		if listSorted {
+			sortChildInterior(node, relLimitAt(d, ds))
+		} else {
+			// Below the depth limit nothing reorders: force document
+			// order via the empty key.
+			node.Key = ""
+		}
+		node.Seq = rec.childBase + int64(len(nodes))
+		nodes = append(nodes, node)
+	}
+	reader.Close()
+
+	sort.SliceStable(nodes, func(i, j int) bool {
+		a, b := nodes[i], nodes[j]
+		return keys.Compare(a.Key, a.Seq, b.Key, b.Seq) < 0
+	})
+
+	run := em.NewStream(s.env.Dev, em.CatSubtreeSort)
+	w, err := run.NewWriter(s.env.Budget)
+	if err != nil {
+		return err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	for _, node := range nodes {
+		s.recBuf, err = encodeChildRecord(s.recBuf[:0], node, node.Seq)
+		if err != nil {
+			w.Close()
+			return err
+		}
+		n := binary.PutUvarint(lenBuf[:], uint64(len(s.recBuf)))
+		if _, err := w.Write(lenBuf[:n]); err != nil {
+			w.Close()
+			return err
+		}
+		if _, err := w.Write(s.recBuf); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	s.incomplete[ds] = append(s.incomplete[ds], run)
+	s.report.IncompleteRuns++
+
+	if err := s.data.Truncate(rec.cutMark); err != nil {
+		return err
+	}
+	rec.childBase += int64(len(nodes))
+	rec.marshal(s.pathBuf)
+	return s.path.ReplaceTop(s.pathBuf)
+}
+
+// relLimitAt returns the subtree-relative depth limit for an element at
+// level ds under global limit d (0 = unlimited).
+func relLimitAt(d, ds int) int {
+	if d == 0 {
+		return 0
+	}
+	return d - ds + 1
+}

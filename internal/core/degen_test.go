@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nexsort/internal/em"
+	"nexsort/internal/keys"
+	"nexsort/internal/xmltree"
+)
+
+// flatDoc builds a two-level document (root + n children), the shape where
+// unmodified NEXSORT wastes a pass and graceful degeneration pays off.
+func flatDoc(n int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var sb strings.Builder
+	sb.WriteString(`<root key="r">`)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, `<row key="%05d" pad="ppppppppppppppppppppppppp"/>`, rng.Intn(100000))
+	}
+	sb.WriteString("</root>")
+	return sb.String()
+}
+
+func flatCriterion() *keys.Criterion {
+	return &keys.Criterion{Rules: []keys.Rule{{Tag: "", Source: keys.ByAttr("key")}}, KeyCap: 12}
+}
+
+func TestDegenerateFlatDocumentCorrect(t *testing.T) {
+	doc := flatDoc(800, 4)
+	c := flatCriterion()
+	want := oracle(t, doc, c, 0)
+
+	envOff := newEnv(t, 256, MinMemBlocksDegenerate)
+	gotOff, repOff := nexsort(t, envOff, doc, Options{Criterion: c})
+
+	envOn := newEnv(t, 256, MinMemBlocksDegenerate)
+	gotOn, repOn := nexsort(t, envOn, doc, Options{Criterion: c, Degenerate: true})
+
+	if gotOff != want {
+		t.Error("degeneration-off output differs from oracle")
+	}
+	if gotOn != want {
+		t.Error("degeneration-on output differs from oracle")
+	}
+	if repOn.IncompleteRuns == 0 {
+		t.Fatalf("expected incomplete runs on a flat document; report = %+v", repOn)
+	}
+	if repOn.MergedSubtrees == 0 {
+		t.Error("expected the root sort to merge incomplete runs")
+	}
+	if repOff.IncompleteRuns != 0 {
+		t.Error("degeneration off must not cut incomplete runs")
+	}
+
+	// The optimization's whole point: the flat document's children no
+	// longer ride the data stack to disk, so data-stack paging drops to
+	// (near) zero while the unoptimized run pages most of the input.
+	offStack := envOff.Stats.IOs(em.CatDataStack)
+	onStack := envOn.Stats.IOs(em.CatDataStack)
+	if onStack >= offStack {
+		t.Errorf("degeneration did not reduce data-stack paging: on=%d off=%d", onStack, offStack)
+	}
+	if onStack > offStack/4 {
+		t.Errorf("expected a large reduction: on=%d off=%d", onStack, offStack)
+	}
+}
+
+func TestDegenerateNestedDocument(t *testing.T) {
+	// Degeneration must stay correct when flat regions appear at several
+	// depths: each group is wide, and the root has many groups.
+	rng := rand.New(rand.NewSource(11))
+	var sb strings.Builder
+	sb.WriteString(`<root key="r">`)
+	for g := 0; g < 20; g++ {
+		fmt.Fprintf(&sb, `<group key="g%02d">`, rng.Intn(100))
+		for i := 0; i < 60; i++ {
+			fmt.Fprintf(&sb, `<row key="%05d" pad="pppppppppppppppp"/>`, rng.Intn(100000))
+		}
+		sb.WriteString("</group>")
+	}
+	sb.WriteString("</root>")
+	doc := sb.String()
+	c := flatCriterion()
+
+	env := newEnv(t, 256, MinMemBlocksDegenerate)
+	got, rep := nexsort(t, env, doc, Options{Criterion: c, Degenerate: true, Threshold: 512})
+	if got != oracle(t, doc, c, 0) {
+		t.Error("nested degeneration output differs from oracle")
+	}
+	if rep.IncompleteRuns == 0 {
+		t.Errorf("expected cuts inside wide groups; report = %+v", rep)
+	}
+}
+
+func TestDegenerateWithDepthLimit(t *testing.T) {
+	doc := `<root key="r">` + strings.Repeat(`<g key="b"><i key="z" pad="pppppppppppppppppppppppppppppp"/><i key="a" pad="pppppppppppppppppppppppppppppp"/></g><g key="a" pad="pppppppppppppppppppppppppppp"/>`, 60) + `</root>`
+	c := flatCriterion()
+	for depth := 1; depth <= 3; depth++ {
+		env := newEnv(t, 256, MinMemBlocksDegenerate)
+		got, _ := nexsort(t, env, doc, Options{Criterion: c, Degenerate: true, DepthLimit: depth})
+		if got != oracle(t, doc, c, depth) {
+			t.Errorf("depth %d: degeneration output differs from oracle", depth)
+		}
+	}
+}
+
+// TestDegenerateQuick: degeneration on/off agree with the oracle across
+// random documents, geometries and thresholds.
+func TestDegenerateQuick(t *testing.T) {
+	c := &keys.Criterion{Rules: []keys.Rule{{Tag: "", Source: keys.ByAttr("k")}}, KeyCap: 12}
+	f := func(seed int64, thrRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomXML(rng, 150)
+		env, err := em.NewEnv(em.Config{BlockSize: 128, MemBlocks: MinMemBlocksDegenerate + rng.Intn(6)})
+		if err != nil {
+			return false
+		}
+		defer env.Close()
+		var out strings.Builder
+		opts := Options{Criterion: c, Degenerate: true, Threshold: 1 + int(thrRaw)%512}
+		if _, err := Sort(env, strings.NewReader(doc), &out, opts); err != nil {
+			return false
+		}
+		n, err := xmltree.ParseString(doc)
+		if err != nil {
+			return false
+		}
+		n.ComputeKeys(c)
+		n.SortRecursive()
+		return out.String() == n.XMLString() && env.Budget.InUse() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nexsort/internal/em"
+	"nexsort/internal/gen"
+	"nexsort/internal/keys"
+)
+
+// TestLemmaIOBounds checks the per-category cost bounds of Section 4.2
+// empirically, with explicit constants: each bookkeeping category must stay
+// within a small multiple of n = input blocks (Lemmas 4.10-4.12) or N/t
+// (Lemma 4.13), across a spread of document shapes.
+func TestLemmaIOBounds(t *testing.T) {
+	shapes := []struct {
+		name string
+		spec interface {
+			Write(w io.Writer) (gen.Stats, error)
+		}
+	}{
+		{"wide", gen.CustomSpec{Fanouts: []int{2000}, Seed: 1, ElemSize: 80}},
+		{"bushy", gen.CustomSpec{Fanouts: []int{12, 12, 12}, Seed: 2, ElemSize: 80}},
+		{"tall", gen.CustomSpec{Fanouts: []int{4, 4, 4, 4, 4}, Seed: 3, ElemSize: 80}},
+		{"random", gen.IBMSpec{Height: 9, MaxFanout: 5, MaxElements: 2000, Seed: 4, ElemSize: 80}},
+	}
+	c := &keys.Criterion{Rules: []keys.Rule{{Tag: "", Source: keys.ByAttr("key")}}, KeyCap: 12}
+	const blockSize = 512
+
+	for _, sh := range shapes {
+		t.Run(sh.name, func(t *testing.T) {
+			var doc strings.Builder
+			if _, err := sh.spec.Write(&doc); err != nil {
+				t.Fatal(err)
+			}
+			env, err := em.NewEnv(em.Config{BlockSize: blockSize, MemBlocks: MinMemBlocks})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer env.Close()
+			rep, err := Sort(env, strings.NewReader(doc.String()), io.Discard, Options{Criterion: c})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			n := float64(rep.InputBytes)/blockSize + 1
+			get := func(cat string) float64 {
+				return float64(rep.IOs[cat].Reads + rep.IOs[cat].Writes)
+			}
+
+			// Lemma 4.10: data-stack paging O(N/B). Every stack block is
+			// written at most once per residence and read back at most
+			// twice (subtree extraction + pointer-site refill), so 4n is
+			// a generous constant.
+			if got := get("data-stack"); got > 4*n {
+				t.Errorf("data-stack IOs %.0f > 4n (n=%.0f)", got, n)
+			}
+			// Lemma 4.11: path-stack paging O(N/B) (covers the ordering-
+			// expression spill too, which shares the category).
+			if got := get("path-stack"); got > 4*n {
+				t.Errorf("path-stack IOs %.0f > 4n (n=%.0f)", got, n)
+			}
+			// Lemma 4.12: run reads O(N/B): every sorted-run block once,
+			// plus one re-read per run pointer (x-1 of them, x bounded by
+			// the subtree-sort count).
+			runReadCap := float64(rep.RunBlocks+rep.SubtreeSorts) + 1
+			if got := get("run-read"); got > runReadCap {
+				t.Errorf("run-read IOs %.0f > blocks+x (%.0f)", got, runReadCap)
+			}
+			// Lemma 4.13: output-location-stack paging O(N/t).
+			if got := get("output-stack"); got > n/2+1 {
+				t.Errorf("output-stack IOs %.0f > N/t (%.0f)", got, n/2+1)
+			}
+			// Lemma 4.8: total run blocks O(N/B); 3n covers the encoded
+			// representation's overhead vs the textual input.
+			if float64(rep.RunBlocks) > 3*n {
+				t.Errorf("run blocks %d > 3n (n=%.0f)", rep.RunBlocks, n)
+			}
+			// Lemma 4.7: subtree sorts x <= S/(t-1) + 1, where S is the
+			// data-stack byte volume; the encoded form runs up to ~1.5x
+			// the textual input on attribute-heavy documents.
+			maxSorts := 3*rep.InputBytes/(2*(int64(rep.Threshold)-1)) + 1
+			if int64(rep.SubtreeSorts) > maxSorts {
+				t.Errorf("subtree sorts %d > %d", rep.SubtreeSorts, maxSorts)
+			}
+		})
+	}
+}
+
+// TestDeepDocumentPathStackPaging drives the path stack (and the matcher
+// spill) through real page-outs with a 3000-deep chain document, and
+// verifies the Lemma 4.11 shape: paging stays proportional to input
+// blocks, and the sort still matches the oracle.
+func TestDeepDocumentPathStackPaging(t *testing.T) {
+	depth := 3000
+	var sb strings.Builder
+	for i := 0; i < depth; i++ {
+		fmt.Fprintf(&sb, `<d k="%d">`, i%10)
+	}
+	sb.WriteString(`<leaf k="x"/>`)
+	for i := 0; i < depth; i++ {
+		sb.WriteString("</d>")
+	}
+	doc := sb.String()
+	c := &keys.Criterion{Rules: []keys.Rule{{Tag: "", Source: keys.ByAttr("k")}}, KeyCap: 8}
+
+	env, err := em.NewEnv(em.Config{BlockSize: 512, MemBlocks: MinMemBlocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	var out strings.Builder
+	rep, err := Sort(env, strings.NewReader(doc), &out, Options{Criterion: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paging := rep.IOs["path-stack"].Total()
+	if paging == 0 {
+		t.Error("a 3000-deep document should page the path stack at 512-byte blocks")
+	}
+	n := rep.InputBytes/512 + 1
+	if paging > 6*n {
+		t.Errorf("path-stack paging %d > 6n (n=%d)", paging, n)
+	}
+	// A chain has exactly one legal ordering: output equals input shape.
+	if !strings.HasPrefix(out.String(), `<d k="0"><d k="1">`) {
+		t.Errorf("chain document mangled: %.60s...", out.String())
+	}
+}
+
+// TestFaultInjection arms I/O faults at random points and verifies that
+// Sort surfaces the error without panicking or leaking budget.
+func TestFaultInjection(t *testing.T) {
+	var doc strings.Builder
+	if _, err := (gen.CustomSpec{Fanouts: []int{15, 15}, Seed: 6, ElemSize: 80}).Write(&doc); err != nil {
+		t.Fatal(err)
+	}
+	c := &keys.Criterion{Rules: []keys.Rule{{Tag: "", Source: keys.ByAttr("key")}}, KeyCap: 12}
+	boom := errors.New("injected disk fault")
+
+	rng := rand.New(rand.NewSource(99))
+	failures := 0
+	for trial := 0; trial < 40; trial++ {
+		stats := em.NewStats()
+		fault := em.NewFaultBackend(em.NewMemBackend())
+		if trial%2 == 0 {
+			fault.FailWriteAfter(int64(1+rng.Intn(60)), boom)
+		} else {
+			fault.FailReadAfter(int64(1+rng.Intn(60)), boom)
+		}
+		env := &em.Env{
+			Dev:    em.NewDevice(fault, 512, stats),
+			Stats:  stats,
+			Budget: em.NewBudget(MinMemBlocks),
+			Conf:   em.Config{BlockSize: 512, MemBlocks: MinMemBlocks},
+		}
+		_, err := Sort(env, strings.NewReader(doc.String()), io.Discard, Options{Criterion: c})
+		if err != nil {
+			if !errors.Is(err, boom) {
+				t.Fatalf("trial %d: unexpected error %v", trial, err)
+			}
+			failures++
+		}
+		if env.Budget.InUse() != 0 {
+			t.Fatalf("trial %d: leaked %d budget blocks after %v", trial, env.Budget.InUse(), err)
+		}
+		env.Dev.Close()
+	}
+	if failures == 0 {
+		t.Error("no fault ever fired; the armed ranges are too late")
+	}
+}
+
+// TestOutputStackPaging drives the output location stack through real
+// page-outs: a deep chain with a tiny threshold makes every element its
+// own nested run, so the output phase's stack grows to the chain depth.
+// Lemma 4.13 bounds its paging by O(N/t) = O(number of runs).
+func TestOutputStackPaging(t *testing.T) {
+	depth := 2500
+	var sb strings.Builder
+	for i := 0; i < depth; i++ {
+		fmt.Fprintf(&sb, `<d k="%d">`, i%10)
+	}
+	sb.WriteString(`<leaf k="x"/>`)
+	for i := 0; i < depth; i++ {
+		sb.WriteString("</d>")
+	}
+	c := &keys.Criterion{Rules: []keys.Rule{{Tag: "", Source: keys.ByAttr("k")}}, KeyCap: 8}
+
+	env, err := em.NewEnv(em.Config{BlockSize: 512, MemBlocks: MinMemBlocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer env.Close()
+	var out strings.Builder
+	rep, err := Sort(env, strings.NewReader(sb.String()), &out, Options{Criterion: c, Threshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SubtreeSorts != depth+1 {
+		t.Errorf("SubtreeSorts = %d, want %d", rep.SubtreeSorts, depth+1)
+	}
+	paging := rep.IOs["output-stack"].Total()
+	if paging == 0 {
+		t.Error("a 2500-deep run tree should page the output location stack")
+	}
+	// Lemma 4.13: paging bounded by pushes+pops = 2x runs; each block
+	// holds 32 records, so even 2*(runs/32)*2 is generous.
+	if maxPaging := int64(rep.SubtreeSorts) / 4; paging > maxPaging {
+		t.Errorf("output-stack paging %d > %d", paging, maxPaging)
+	}
+	// The chain structure survives intact.
+	if !strings.HasPrefix(out.String(), `<d k="0"><d k="1">`) ||
+		!strings.Contains(out.String(), `<leaf k="x">`) {
+		t.Errorf("chain mangled: %.60s...", out.String())
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"nexsort/internal/compact"
+	"nexsort/internal/em"
+	"nexsort/internal/runstore"
+	"nexsort/internal/xmltok"
+	"nexsort/internal/xstack"
+)
+
+// outLocSize is the output location stack's record size: run ID plus
+// resume offset.
+const outLocSize = 16
+
+// outputPhase is lines 13-21 of Figure 4: a depth-first traversal of the
+// tree of sorted runs, made iterative with an external-memory output
+// location stack so that arbitrarily deep run trees never grow the call
+// stack beyond the one resident block the analysis assumes (Lemma 4.13).
+func (s *sorter) outputPhase(root runstore.RunID, out io.Writer) error {
+	budget := s.env.Budget
+
+	oStack, err := xstack.NewRecordStack(s.env.Dev, em.CatOutputStack, budget, 1, outLocSize)
+	if err != nil {
+		return err
+	}
+	defer oStack.Close()
+
+	if err := budget.Grant(1); err != nil {
+		return fmt.Errorf("core: output buffer: %w", err)
+	}
+	defer budget.Release(1)
+
+	cw := em.NewCountingWriter(out, s.env.Conf.BlockSize, s.env.Stats, em.CatOutput)
+	var xw *xmltok.Writer
+	if s.opts.Indent != "" {
+		xw = xmltok.NewIndentWriter(cw, s.opts.Indent)
+	} else {
+		xw = xmltok.NewWriter(cw)
+	}
+
+	var dec *compact.Decoder
+	if s.dict != nil {
+		dec = compact.NewDecoder(s.dict)
+	}
+
+	curID := root
+	cur, err := s.store.OpenCat(curID, budget, 0, em.CatRunRead)
+	if err != nil {
+		return err
+	}
+	loc := make([]byte, outLocSize)
+	for {
+		tok, err := cur.ReadToken()
+		if err == io.EOF {
+			cur.Close()
+			if oStack.Len() == 0 {
+				break
+			}
+			if err := oStack.Pop(loc); err != nil {
+				return err
+			}
+			curID = runstore.RunID(binary.LittleEndian.Uint64(loc[0:]))
+			off := int64(binary.LittleEndian.Uint64(loc[8:]))
+			if cur, err = s.store.OpenCat(curID, budget, off, em.CatRunRead); err != nil {
+				return err
+			}
+			continue
+		}
+		if err != nil {
+			cur.Close()
+			return err
+		}
+		if tok.Kind == xmltok.KindRunPtr {
+			// Line 19-20: remember where to resume this run, then jump
+			// into the child run at its beginning.
+			binary.LittleEndian.PutUint64(loc[0:], uint64(curID))
+			binary.LittleEndian.PutUint64(loc[8:], uint64(cur.Offset()))
+			if err := oStack.Push(loc); err != nil {
+				cur.Close()
+				return err
+			}
+			cur.Close()
+			curID = runstore.RunID(tok.Run)
+			if cur, err = s.store.OpenCat(curID, budget, 0, em.CatRunRead); err != nil {
+				return err
+			}
+			continue
+		}
+		if dec != nil {
+			if tok, err = dec.Decode(tok); err != nil {
+				cur.Close()
+				return err
+			}
+		}
+		tok.HasKey, tok.Key = false, ""
+		if err := xw.WriteToken(tok); err != nil {
+			cur.Close()
+			return err
+		}
+	}
+	if err := xw.Close(); err != nil {
+		return err
+	}
+	if err := cw.Flush(); err != nil {
+		return err
+	}
+	s.report.OutputBytes = cw.BytesWritten()
+	return nil
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"nexsort/internal/compact"
+	"nexsort/internal/em"
+	"nexsort/internal/keys"
+	"nexsort/internal/runstore"
+	"nexsort/internal/xmltok"
+	"nexsort/internal/xstack"
+)
+
+// pathRec is one path-stack record: the data-stack start location of an
+// open element (Figure 4's l), plus the bookkeeping graceful degeneration
+// needs — the start of the element's not-yet-cut child region, and the
+// number of child sequence numbers already handed out by earlier cuts.
+type pathRec struct {
+	start     int64
+	cutMark   int64
+	childBase int64
+}
+
+// pathRecSize is the fixed record size on the path stack.
+const pathRecSize = 24
+
+func (p pathRec) marshal(dst []byte) {
+	binary.LittleEndian.PutUint64(dst[0:], uint64(p.start))
+	binary.LittleEndian.PutUint64(dst[8:], uint64(p.cutMark))
+	binary.LittleEndian.PutUint64(dst[16:], uint64(p.childBase))
+}
+
+func unmarshalPathRec(src []byte) pathRec {
+	return pathRec{
+		start:     int64(binary.LittleEndian.Uint64(src[0:])),
+		cutMark:   int64(binary.LittleEndian.Uint64(src[8:])),
+		childBase: int64(binary.LittleEndian.Uint64(src[16:])),
+	}
+}
+
+// sorter carries the state of one NEXSORT run.
+type sorter struct {
+	env       *em.Env
+	opts      Options
+	crit      *keys.Criterion
+	threshold int64
+
+	data  *xstack.ByteStack
+	path  *xstack.RecordStack
+	spill *xstack.RecordStack
+	annot *keys.Annotator
+	store *runstore.Store
+
+	// dict/enc compact tokens entering the working structures when
+	// Options.Compact is set; the output phase holds the matching
+	// decoder. The dictionary is vocabulary-sized and lives in memory.
+	dict *compact.Dictionary
+	enc  *compact.Encoder
+
+	// incomplete holds, per open-element depth (1-based path-stack
+	// length at push time), the incomplete sorted runs cut by graceful
+	// degeneration. Like the paper's sketch of the optimization, the
+	// handles are bookkeeping, not data; the runs themselves are on disk.
+	incomplete map[int][]*em.Stream
+
+	// cutCap is the degeneration trigger: when the deepest open element's
+	// uncut child region reaches this many bytes, it is cut into an
+	// incomplete sorted run. It is sized so the region always fits in the
+	// data stack's resident window — the cut sorts memory-resident bytes.
+	cutCap int64
+
+	report  *Report
+	encBuf  []byte
+	recBuf  []byte
+	pathBuf []byte
+}
+
+// Sort runs NEXSORT: it reads the XML document from in and writes the
+// fully (or depth-limited) sorted document to out, using the block size,
+// memory budget and scratch device of env. The returned report carries the
+// cost breakdown of Section 4.2.
+func Sort(env *em.Env, in io.Reader, out io.Writer, opts Options) (*Report, error) {
+	crit, threshold, err := opts.validate(env)
+	if err != nil {
+		return nil, err
+	}
+	s := &sorter{
+		env:        env,
+		opts:       opts,
+		crit:       crit,
+		threshold:  int64(threshold),
+		store:      runstore.New(env.Dev),
+		incomplete: map[int][]*em.Stream{},
+		report:     &Report{Threshold: threshold},
+		pathBuf:    make([]byte, pathRecSize),
+	}
+	if opts.Compact {
+		s.dict = compact.NewDictionary()
+		s.enc = compact.NewEncoder(s.dict)
+	}
+
+	rootRun, err := s.sortingPhase(in)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.outputPhase(rootRun, out); err != nil {
+		return nil, err
+	}
+	s.report.RunBlocks = s.store.TotalBlocks()
+	s.report.ScratchBlocks = env.Dev.Allocated()
+	s.report.IOs = env.Stats.Snapshot()
+	return s.report, nil
+}
+
+// sortingPhase is lines 1-12 of Figure 4. It returns the root run's ID.
+func (s *sorter) sortingPhase(in io.Reader) (root runstore.RunID, err error) {
+	budget := s.env.Budget
+
+	// Fixed structures: 2 path-stack blocks, 2 ordering-expression spill
+	// blocks, 1 input buffer block, and the data stack's resident window:
+	// one block normally, or — with graceful degeneration — the sort
+	// area, so that an accumulating flat child list is cut into an
+	// incomplete run while still memory-resident instead of riding the
+	// stack to disk and back.
+	dataResident := 1
+	if s.opts.Degenerate {
+		// Nearly all of the budget accumulates children in the resident
+		// window, exactly like external merge sort filling memory before
+		// cutting an initial run; when incomplete runs are merged, the
+		// window is lent to the merge (SetResident in mergedSubtreeSort),
+		// so the merge enjoys the same fan-in merge sort would.
+		dataResident = budget.Total() - 8
+		s.cutCap = int64(dataResident-1) * int64(s.env.Conf.BlockSize)
+	}
+	s.data, err = xstack.NewByteStack(s.env.Dev, em.CatDataStack, budget, dataResident)
+	if err != nil {
+		return 0, err
+	}
+	defer s.data.Close()
+	s.path, err = xstack.NewRecordStack(s.env.Dev, em.CatPathStack, budget, 2, pathRecSize)
+	if err != nil {
+		return 0, err
+	}
+	defer s.path.Close()
+	s.spill, err = xstack.NewRecordStack(s.env.Dev, em.CatPathStack, budget, 2, s.crit.StateSize())
+	if err != nil {
+		return 0, err
+	}
+	defer s.spill.Close()
+	s.annot = keys.NewAnnotator(s.crit, s.spill)
+
+	if err := budget.Grant(1); err != nil {
+		return 0, fmt.Errorf("core: input buffer: %w", err)
+	}
+	defer budget.Release(1)
+
+	cr := em.NewCountingReader(in, s.env.Conf.BlockSize, s.env.Stats, em.CatInput)
+	parser := xmltok.NewParser(cr, xmltok.DefaultParserOptions())
+	var stamper *orderStamper
+	if s.opts.RecordOrder != "" {
+		stamper = newOrderStamper(s.opts.RecordOrder)
+	}
+
+	rootRun := runstore.RunID(-1)
+	for {
+		tok, err := parser.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		if stamper != nil {
+			tok = stamper.stamp(tok)
+		}
+		if tok, err = s.annot.Annotate(tok); err != nil {
+			return 0, err
+		}
+		if s.enc != nil {
+			// Ordering keys were evaluated on the original names above;
+			// only the stored representation is compacted.
+			tok = s.enc.Encode(tok)
+		}
+
+		switch tok.Kind {
+		case xmltok.KindStart:
+			s.report.Elements++
+			if d := s.annot.Depth(); d > s.report.Height {
+				s.report.Height = d
+			}
+			rec := pathRec{start: s.data.Size()}
+			if err := s.pushToken(tok); err != nil {
+				return 0, err
+			}
+			rec.cutMark = s.data.Size()
+			rec.marshal(s.pathBuf)
+			if err := s.path.Push(s.pathBuf); err != nil {
+				return 0, err
+			}
+
+		case xmltok.KindText:
+			s.report.TextNodes++
+			if err := s.pushToken(tok); err != nil {
+				return 0, err
+			}
+			if err := s.maybeCutIncomplete(); err != nil {
+				return 0, err
+			}
+
+		case xmltok.KindEnd:
+			if err := s.path.Pop(s.pathBuf); err != nil {
+				return 0, err
+			}
+			rec := unmarshalPathRec(s.pathBuf)
+			if err := s.pushToken(tok); err != nil {
+				return 0, err
+			}
+			size := s.data.Size() - rec.start
+			isRoot := s.path.Len() == 0
+			ds := int(s.path.Len()) + 1 // the closed element's level
+			withinDepth := s.opts.DepthLimit == 0 || ds <= s.opts.DepthLimit+1
+			// An element whose children were cut into incomplete runs
+			// must be completed now regardless of its remaining size.
+			hasIncomplete := len(s.incomplete[ds]) > 0
+			if isRoot || hasIncomplete || (size >= s.threshold && withinDepth) {
+				runID, err := s.sortSubtree(rec, tok, ds)
+				if err != nil {
+					return 0, err
+				}
+				if isRoot {
+					rootRun = runID
+				} else if err := s.maybeCutIncomplete(); err != nil {
+					return 0, err
+				}
+			} else if err := s.maybeCutIncomplete(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	cr.Finish()
+	s.report.InputBytes = cr.BytesRead()
+	if rootRun < 0 {
+		return 0, fmt.Errorf("core: input document has no root element")
+	}
+	return rootRun, nil
+}
+
+// pushToken appends a token to the data stack.
+func (s *sorter) pushToken(tok xmltok.Token) error {
+	s.encBuf = xmltok.AppendToken(s.encBuf[:0], tok)
+	return s.data.Push(s.encBuf)
+}
+
+// orderStamper implements the paper's order-preservation device: each
+// element gains a sequence-number attribute recording its original
+// position among its siblings, zero-padded so that lexicographic
+// comparison equals numeric comparison. Sorting the stamped output by that
+// attribute restores the original document. The per-open-element counters
+// are O(height) bookkeeping, like the parser's well-formedness stack.
+type orderStamper struct {
+	attr     string
+	counters []int64
+}
+
+func newOrderStamper(attr string) *orderStamper {
+	return &orderStamper{attr: attr, counters: make([]int64, 1, 16)}
+}
+
+func (o *orderStamper) stamp(tok xmltok.Token) xmltok.Token {
+	switch tok.Kind {
+	case xmltok.KindStart:
+		seq := o.counters[len(o.counters)-1]
+		o.counters[len(o.counters)-1]++
+		attrs := make([]xmltok.Attr, 0, len(tok.Attrs)+1)
+		attrs = append(attrs, tok.Attrs...)
+		attrs = append(attrs, xmltok.Attr{Name: o.attr, Value: fmt.Sprintf("%012d", seq)})
+		tok.Attrs = attrs
+		o.counters = append(o.counters, 0)
+	case xmltok.KindText:
+		o.counters[len(o.counters)-1]++
+	case xmltok.KindEnd:
+		o.counters = o.counters[:len(o.counters)-1]
+	}
+	return tok
+}
+
+// tokenSource adapts a byte reader of encoded tokens to xmltree.TokenSource.
+type tokenSource struct {
+	r io.ByteReader
+}
+
+func (t tokenSource) Next() (xmltok.Token, error) { return xmltok.ReadToken(t.r) }

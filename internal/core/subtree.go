@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"nexsort/internal/em"
+	"nexsort/internal/runstore"
+	"nexsort/internal/xmltok"
+	"nexsort/internal/xmltree"
+)
+
+// sortSubtree is lines 10-12 of Figure 4: pop the complete subtree starting
+// at rec.start from the data stack, sort it, write it as a sorted run, and
+// push a run-pointer token (carrying the subtree root's ordering key from
+// its end tag) back in its place. ds is the subtree root's level, used by
+// depth-limited sorting.
+func (s *sorter) sortSubtree(rec pathRec, endTok xmltok.Token, ds int) (runstore.RunID, error) {
+	size := s.data.Size() - rec.start
+	if size > s.report.MaxSubtreeBytes {
+		s.report.MaxSubtreeBytes = size
+	}
+	s.report.SubtreeSorts++
+
+	// Translate the global depth limit into the subtree's frame: an
+	// element at relative level r (subtree root = 1) sits at global level
+	// ds+r-1, so child lists are sorted for r <= relLimit = d-ds+1.
+	// relLimit <= 0 means the subtree sits at the boundary (ds = d+1): it
+	// is written to disk unsorted so that it stops inflating ancestors'
+	// sorts ("ensuring that we do not carry large subtrees along").
+	relLimit := 0
+	noSort := false
+	if s.opts.DepthLimit > 0 {
+		relLimit = s.opts.DepthLimit - ds + 1
+		if relLimit <= 0 {
+			noSort = true
+		}
+	}
+
+	runID, w, err := s.store.Create(em.CatSubtreeSort, s.env.Budget)
+	if err != nil {
+		return 0, err
+	}
+
+	depthIdx := int(s.path.Len()) + 1 // the closed element's depth index
+	incRuns := s.incomplete[depthIdx]
+	delete(s.incomplete, depthIdx)
+
+	switch {
+	case len(incRuns) > 0:
+		err = s.mergedSubtreeSort(rec, endTok, incRuns, relLimit, noSort, w)
+		s.report.MergedSubtrees++
+	case noSort:
+		err = s.copySubtree(rec.start, w)
+		s.report.UnsortedRuns++
+	case s.opts.Degenerate && size <= s.cutCap+int64(s.env.Conf.BlockSize):
+		// Under degeneration the cut trigger bounds every element's
+		// on-stack size, so the subtree is already memory-resident: sort
+		// it in place without a second grant.
+		err = s.internalSubtreeSort(rec.start, 0, relLimit, w)
+		s.report.InternalSorts++
+	case size <= int64(s.env.Budget.Free()-1)*int64(s.env.Conf.BlockSize):
+		// The encoded subtree fits in the remaining sort area (one block
+		// stays reserved for the range reader): in-memory recursive sort.
+		err = s.internalSubtreeSort(rec.start, size, relLimit, w)
+		s.report.InternalSorts++
+	default:
+		err = s.externalSubtreeSort(rec.start, relLimit, w)
+		s.report.ExternalSorts++
+	}
+	if err != nil {
+		w.Close()
+		return 0, err
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+
+	if err := s.data.Truncate(rec.start); err != nil {
+		return 0, err
+	}
+	ptr := xmltok.Token{
+		Kind:   xmltok.KindRunPtr,
+		Run:    int64(runID),
+		Name:   endTok.Name,
+		Key:    endTok.Key,
+		HasKey: true,
+	}
+	if err := s.pushToken(ptr); err != nil {
+		return 0, err
+	}
+	return runID, nil
+}
+
+// copySubtree writes the subtree's tokens to the run verbatim (depth-limited
+// mode, subtree rooted exactly at level d+1).
+func (s *sorter) copySubtree(start int64, w *runstore.Writer) error {
+	reader, err := s.data.ReadRange(s.env.Budget, start)
+	if err != nil {
+		return err
+	}
+	defer reader.Close()
+	for {
+		tok, err := xmltok.ReadToken(reader)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := w.WriteToken(tok); err != nil {
+			return err
+		}
+	}
+}
+
+// internalSubtreeSort is Line 11's common case: build the subtree in
+// memory, recursively sort it, and stream it into the run. The tree's
+// memory is drawn from the budget at the subtree's encoded size; size 0
+// skips the grant (degeneration mode, where the bytes are already resident
+// in the data stack's window and the sort is modelled as in-place).
+func (s *sorter) internalSubtreeSort(start, size int64, relLimit int, w *runstore.Writer) error {
+	bs := int64(s.env.Conf.BlockSize)
+	blocks := int((size + bs - 1) / bs)
+	if err := s.env.Budget.Grant(blocks); err != nil {
+		return err
+	}
+	defer s.env.Budget.Release(blocks)
+
+	reader, err := s.data.ReadRange(s.env.Budget, start)
+	if err != nil {
+		return err
+	}
+	defer reader.Close()
+
+	tree, err := xmltree.FromTokens(tokenSource{r: reader})
+	if err != nil {
+		return fmt.Errorf("core: rebuilding subtree: %w", err)
+	}
+	tree.SortToDepth(relLimit) // 0 sorts head to toe
+	return tree.EmitTokens(w.WriteToken)
+}
+
+// externalSubtreeSort is Line 11's fallback for subtrees larger than the
+// sort area: depth-aware key-path external merge sort over the subtree's
+// token stream. When the criterion needs subtree passes (path keys), a
+// sidecar pass first materializes every element's key — resolved on end
+// tags — as (preorder index, key) records, sorts them back into preorder,
+// and zips them with a second scan so that start tags carry keys before
+// key-path extraction.
+func (s *sorter) externalSubtreeSort(start int64, relLimit int, w *runstore.Writer) error {
+	allSimple := true
+	for _, r := range s.crit.Rules {
+		if !r.Source.StartResolvable() {
+			allSimple = false
+			break
+		}
+	}
+
+	if allSimple {
+		reader, err := s.data.ReadRange(s.env.Budget, start)
+		if err != nil {
+			return err
+		}
+		defer reader.Close()
+		return keyPathSortTokens(s.env, tokenSource{r: reader}, relLimit, w)
+	}
+
+	sidecar, err := s.buildKeySidecar(start)
+	if err != nil {
+		return err
+	}
+	defer sidecar.Close()
+	reader, err := s.data.ReadRange(s.env.Budget, start)
+	if err != nil {
+		return err
+	}
+	defer reader.Close()
+	keyed := &keyedSource{inner: tokenSource{r: reader}, sidecar: sidecar}
+	return keyPathSortTokens(s.env, keyed, relLimit, w)
+}
+
+// mergedSubtreeSort completes a subtree whose earlier children were cut
+// into incomplete sorted runs by graceful degeneration: the remaining
+// uncut children are interior-sorted in memory into one more batch, and
+// everything is merged into the element's complete sorted run.
+func (s *sorter) mergedSubtreeSort(rec pathRec, endTok xmltok.Token, incRuns []*em.Stream, relLimit int, noSort bool, w *runstore.Writer) error {
+	// Lend the data stack's accumulation window to the merge: everything
+	// that mattered was already cut into incomplete runs, so the stack
+	// below needs only one resident block, and the freed blocks buy the
+	// merge its fan-in (external merge sort's buffer/merge phase split).
+	restore := s.data.Resident()
+	if restore > 1 {
+		if err := s.data.SetResident(1); err != nil {
+			return err
+		}
+		defer func() {
+			if err := s.data.SetResident(restore); err != nil {
+				panic(err) // regrowing a window cannot fail to evict
+			}
+		}()
+	}
+
+	reader, err := s.data.ReadRange(s.env.Budget, rec.start)
+	if err != nil {
+		return err
+	}
+	src := tokenSource{r: reader}
+
+	startTok, err := src.Next()
+	if err != nil {
+		reader.Close()
+		return err
+	}
+	if startTok.Kind != xmltok.KindStart {
+		reader.Close()
+		return fmt.Errorf("core: merged subtree does not begin with a start tag")
+	}
+
+	sorter, err := newChildRecordSorter(s.env)
+	if err != nil {
+		reader.Close()
+		return err
+	}
+	defer sorter.Close()
+	for _, run := range incRuns {
+		sorter.AddPresortedRun(run)
+	}
+
+	// Parse, interior-sort and enqueue the uncut tail of the child list.
+	// The region is below the cut capacity by construction, so this is an
+	// in-memory step (its budget was effectively reserved by the trigger).
+	childSeq := rec.childBase
+	for {
+		node, last, err := nextChildNode(src)
+		if err != nil {
+			reader.Close()
+			return err
+		}
+		if last {
+			break
+		}
+		if noSort {
+			// The element sits below the depth limit: its children keep
+			// document order, so the empty key makes (key, seq) reduce
+			// to the sequence number.
+			node.Key = ""
+		} else {
+			sortChildInterior(node, relLimit)
+		}
+		s.recBuf, err = encodeChildRecord(s.recBuf[:0], node, childSeq)
+		if err != nil {
+			reader.Close()
+			return err
+		}
+		if err := sorter.Add(s.recBuf); err != nil {
+			reader.Close()
+			return err
+		}
+		childSeq++
+	}
+	reader.Close()
+
+	if err := w.WriteToken(startTok); err != nil {
+		return err
+	}
+	if err := drainChildRecords(sorter, w); err != nil {
+		return err
+	}
+	return w.WriteToken(xmltok.Token{Kind: xmltok.KindEnd, Name: endTok.Name, Key: endTok.Key, HasKey: endTok.HasKey})
+}
+
+// sortChildInterior recursively sorts a direct child of an element being
+// sorted at subtree-relative limit relLimit: the child sits one level
+// deeper, so its own frame shifts by one. relLimit 0 means head to toe;
+// relLimit 1 means only the parent's child list is ordered, so the child's
+// interior must stay untouched.
+func sortChildInterior(node *xmltree.Node, relLimit int) {
+	switch {
+	case relLimit == 0:
+		node.SortRecursive()
+	case relLimit > 1:
+		node.SortToDepth(relLimit - 1)
+	}
+}
+
+// nextChildNode reads the next complete child subtree from a sibling-level
+// token stream. last=true signals the parent's end tag (or stream end).
+func nextChildNode(src tokenSource) (node *xmltree.Node, last bool, err error) {
+	tok, err := src.Next()
+	if err == io.EOF {
+		return nil, true, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	if tok.Kind == xmltok.KindEnd {
+		return nil, true, nil
+	}
+	n, err := xmltree.FromFirst(src, tok)
+	if err != nil {
+		return nil, false, err
+	}
+	return n, false, nil
+}

@@ -1,0 +1,190 @@
+package em
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Backend is the raw byte store underneath a Device. Implementations must
+// support sparse positional access: reading a range that was never written
+// returns zero bytes, as a POSIX file would.
+type Backend interface {
+	io.ReaderAt
+	io.WriterAt
+	io.Closer
+}
+
+// FileBackend is a Backend over an operating-system file. It is the
+// production backend: spill data (runs, paged-out stack blocks) really does
+// leave main memory.
+type FileBackend struct {
+	f *os.File
+}
+
+// NewFileBackend creates (or truncates) the named file and returns a backend
+// over it.
+func NewFileBackend(path string) (*FileBackend, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("em: open backend file: %w", err)
+	}
+	return &FileBackend{f: f}, nil
+}
+
+// ReadAt implements io.ReaderAt. Reads past the current end of file are
+// zero-filled so that freshly allocated blocks read back as zeros.
+func (b *FileBackend) ReadAt(p []byte, off int64) (int, error) {
+	n, err := b.f.ReadAt(p, off)
+	if err == io.EOF {
+		for i := n; i < len(p); i++ {
+			p[i] = 0
+		}
+		return len(p), nil
+	}
+	return n, err
+}
+
+// WriteAt implements io.WriterAt.
+func (b *FileBackend) WriteAt(p []byte, off int64) (int, error) {
+	return b.f.WriteAt(p, off)
+}
+
+// Close closes and removes the underlying file. Spill data is scratch by
+// definition, so nothing of value is lost.
+func (b *FileBackend) Close() error {
+	name := b.f.Name()
+	err := b.f.Close()
+	if rmErr := os.Remove(name); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// MemBackend is an in-memory Backend used by tests and small examples. It
+// grows on demand and zero-fills unwritten regions.
+type MemBackend struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend { return &MemBackend{} }
+
+// ReadAt implements io.ReaderAt with zero-fill past the written extent.
+func (b *MemBackend) ReadAt(p []byte, off int64) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range p {
+		p[i] = 0
+	}
+	if off < int64(len(b.buf)) {
+		copy(p, b.buf[off:])
+	}
+	return len(p), nil
+}
+
+// WriteAt implements io.WriterAt, growing the buffer geometrically so that
+// sequential block appends stay amortized O(1) per byte.
+func (b *MemBackend) WriteAt(p []byte, off int64) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(b.buf)) {
+		if end <= int64(cap(b.buf)) {
+			b.buf = b.buf[:end]
+		} else {
+			newCap := int64(cap(b.buf)) * 2
+			if newCap < end {
+				newCap = end
+			}
+			grown := make([]byte, end, newCap)
+			copy(grown, b.buf)
+			b.buf = grown
+		}
+	}
+	copy(b.buf[off:], p)
+	return len(p), nil
+}
+
+// Close implements io.Closer.
+func (b *MemBackend) Close() error { return nil }
+
+// Len reports the number of bytes ever written (the high-water extent).
+func (b *MemBackend) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf)
+}
+
+// FaultBackend wraps a Backend and injects errors for testing error paths.
+// Faults fire on the k-th read or write (1-based) after arming, then the
+// backend behaves normally again unless re-armed.
+type FaultBackend struct {
+	Inner Backend
+
+	mu         sync.Mutex
+	readsLeft  int64 // fire on read when this hits zero; <0 means disarmed
+	writesLeft int64
+	readErr    error
+	writeErr   error
+	reads      int64
+	writes     int64
+}
+
+// NewFaultBackend wraps inner with fault injection disarmed.
+func NewFaultBackend(inner Backend) *FaultBackend {
+	return &FaultBackend{Inner: inner, readsLeft: -1, writesLeft: -1}
+}
+
+// FailReadAfter arms the backend to return err on the n-th subsequent read.
+func (b *FaultBackend) FailReadAfter(n int64, err error) {
+	b.mu.Lock()
+	b.readsLeft, b.readErr = n, err
+	b.mu.Unlock()
+}
+
+// FailWriteAfter arms the backend to return err on the n-th subsequent write.
+func (b *FaultBackend) FailWriteAfter(n int64, err error) {
+	b.mu.Lock()
+	b.writesLeft, b.writeErr = n, err
+	b.mu.Unlock()
+}
+
+// ReadAt implements io.ReaderAt, possibly returning an injected error.
+func (b *FaultBackend) ReadAt(p []byte, off int64) (int, error) {
+	b.mu.Lock()
+	b.reads++
+	fire := false
+	if b.readsLeft > 0 {
+		b.readsLeft--
+		fire = b.readsLeft == 0
+	}
+	err := b.readErr
+	b.mu.Unlock()
+	if fire {
+		return 0, err
+	}
+	return b.Inner.ReadAt(p, off)
+}
+
+// WriteAt implements io.WriterAt, possibly returning an injected error.
+func (b *FaultBackend) WriteAt(p []byte, off int64) (int, error) {
+	b.mu.Lock()
+	b.writes++
+	fire := false
+	if b.writesLeft > 0 {
+		b.writesLeft--
+		fire = b.writesLeft == 0
+	}
+	err := b.writeErr
+	b.mu.Unlock()
+	if fire {
+		return 0, err
+	}
+	return b.Inner.WriteAt(p, off)
+}
+
+// Close closes the wrapped backend.
+func (b *FaultBackend) Close() error { return b.Inner.Close() }

@@ -1,0 +1,97 @@
+package em
+
+import "fmt"
+
+// Config describes an external-memory environment: the block size B (in
+// bytes) and the main-memory budget M (in blocks). These are the two knobs
+// the paper's experiments sweep (64 KB blocks; 3-32 MB of memory).
+type Config struct {
+	// BlockSize is the block size in bytes. The paper uses 64 KiB; tests
+	// and scaled-down experiments use smaller blocks so that interesting
+	// N/B and M/B ratios are reachable with small inputs.
+	BlockSize int
+	// MemBlocks is M, the number of main-memory blocks available.
+	MemBlocks int
+	// ScratchDir, if non-empty, places the scratch device file there and
+	// selects the file backend. If empty, an in-memory backend is used.
+	ScratchDir string
+	// InMemory forces the in-memory backend even if ScratchDir is set.
+	InMemory bool
+}
+
+// Validate reports whether the configuration satisfies the minimum-memory
+// assumptions of Section 3.1: NEXSORT needs at least two blocks for the path
+// stack, one for the data stack, one for the output-location stack, and at
+// least one block to sort with, so M >= 5 is the floor enforced here.
+func (c Config) Validate() error {
+	if c.BlockSize < 64 {
+		return fmt.Errorf("em: block size %d too small (min 64 bytes)", c.BlockSize)
+	}
+	if c.MemBlocks < 5 {
+		return fmt.Errorf("em: memory budget %d blocks too small (min 5)", c.MemBlocks)
+	}
+	return nil
+}
+
+// Env bundles the device, statistics and memory budget an algorithm run
+// uses. Construct with NewEnv and Close when the run is finished.
+type Env struct {
+	Dev    *Device
+	Stats  *Stats
+	Budget *Budget
+	Conf   Config
+}
+
+// NewEnv builds an environment from cfg.
+func NewEnv(cfg Config) (*Env, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	stats := NewStats()
+	var dev *Device
+	if cfg.ScratchDir != "" && !cfg.InMemory {
+		d, err := NewFileDevice(cfg.ScratchDir, cfg.BlockSize, stats)
+		if err != nil {
+			return nil, err
+		}
+		dev = d
+	} else {
+		dev = NewDevice(NewMemBackend(), cfg.BlockSize, stats)
+	}
+	return &Env{
+		Dev:    dev,
+		Stats:  stats,
+		Budget: NewBudget(cfg.MemBlocks),
+		Conf:   cfg,
+	}, nil
+}
+
+// Close releases the scratch device.
+func (e *Env) Close() error { return e.Dev.Close() }
+
+// CostModel converts counted block I/Os into simulated seconds, so the
+// harness can plot "sort time" curves with the same shape as the paper's
+// figures even though the physical disk underneath is a modern SSD (or
+// memory). The defaults approximate the paper's 2003-era disk: a 64 KiB
+// block transfer at ~25 MB/s sequential plus ~5 ms average positioning for
+// each random access, scaled to the configured block size.
+type CostModel struct {
+	// SeqPerByte is the per-byte transfer cost in seconds.
+	SeqPerByte float64
+	// PerIO is the fixed per-block-access cost in seconds (seek+rotate).
+	PerIO float64
+}
+
+// DefaultCostModel returns a model approximating the paper's testbed.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		SeqPerByte: 1.0 / (25 << 20), // 25 MB/s streaming
+		PerIO:      0.005,            // 5 ms positioning
+	}
+}
+
+// Seconds converts an I/O count at the given block size into simulated
+// seconds under the model.
+func (m CostModel) Seconds(ios int64, blockSize int) float64 {
+	return float64(ios) * (m.PerIO + m.SeqPerByte*float64(blockSize))
+}

@@ -1,0 +1,134 @@
+package em
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Stats accumulates block-I/O counts by Category. All methods are safe for
+// concurrent use. A single Stats is typically shared by a Device and the
+// CountingReader/CountingWriter wrapping the input and output files, so that
+// TotalIOs reflects the complete cost of an algorithm run.
+type Stats struct {
+	mu     sync.Mutex
+	reads  [numCategories]int64
+	writes [numCategories]int64
+}
+
+// NewStats returns an empty Stats.
+func NewStats() *Stats { return &Stats{} }
+
+// AddReads records n block reads under category c.
+func (s *Stats) AddReads(c Category, n int64) {
+	s.mu.Lock()
+	s.reads[c] += n
+	s.mu.Unlock()
+}
+
+// AddWrites records n block writes under category c.
+func (s *Stats) AddWrites(c Category, n int64) {
+	s.mu.Lock()
+	s.writes[c] += n
+	s.mu.Unlock()
+}
+
+// Reads returns the number of block reads recorded under category c.
+func (s *Stats) Reads(c Category) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reads[c]
+}
+
+// Writes returns the number of block writes recorded under category c.
+func (s *Stats) Writes(c Category) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writes[c]
+}
+
+// IOs returns reads+writes recorded under category c.
+func (s *Stats) IOs(c Category) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reads[c] + s.writes[c]
+}
+
+// TotalReads returns the total block reads across all categories.
+func (s *Stats) TotalReads() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t int64
+	for _, v := range s.reads {
+		t += v
+	}
+	return t
+}
+
+// TotalWrites returns the total block writes across all categories.
+func (s *Stats) TotalWrites() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t int64
+	for _, v := range s.writes {
+		t += v
+	}
+	return t
+}
+
+// TotalIOs returns the total block transfers across all categories. This is
+// the paper's primary performance metric.
+func (s *Stats) TotalIOs() int64 { return s.TotalReads() + s.TotalWrites() }
+
+// Reset zeroes every counter.
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	s.reads = [numCategories]int64{}
+	s.writes = [numCategories]int64{}
+	s.mu.Unlock()
+}
+
+// Snapshot returns a copy of the per-category counters, keyed by category
+// name, for reporting. Categories with zero activity are omitted.
+func (s *Stats) Snapshot() map[string]IOCount {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]IOCount)
+	for i := 0; i < int(numCategories); i++ {
+		if s.reads[i] == 0 && s.writes[i] == 0 {
+			continue
+		}
+		out[Category(i).String()] = IOCount{Reads: s.reads[i], Writes: s.writes[i]}
+	}
+	return out
+}
+
+// IOCount is a read/write pair for one category in a Snapshot.
+type IOCount struct {
+	Reads  int64
+	Writes int64
+}
+
+// Total returns reads+writes.
+func (c IOCount) Total() int64 { return c.Reads + c.Writes }
+
+// String renders the full breakdown as a single line, with categories in a
+// stable order, e.g. "input r=100 w=0; output r=0 w=100; total=200".
+func (s *Stats) String() string {
+	snap := s.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	var total int64
+	for _, name := range names {
+		c := snap[name]
+		fmt.Fprintf(&b, "%s r=%d w=%d; ", name, c.Reads, c.Writes)
+		total += c.Total()
+	}
+	fmt.Fprintf(&b, "total=%d", total)
+	return b.String()
+}

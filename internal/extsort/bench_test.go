@@ -1,0 +1,59 @@
+package extsort
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"nexsort/internal/em"
+)
+
+// BenchmarkSorterExternal measures a genuinely external record sort
+// (multiple initial runs plus merging).
+func BenchmarkSorterExternal(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	recs := make([][]byte, 20000)
+	var bytesTotal int64
+	for i := range recs {
+		recs[i] = []byte(fmt.Sprintf("%08d-%032x", rng.Intn(1e8), rng.Int63()))
+		bytesTotal += int64(len(recs[i]))
+	}
+	b.SetBytes(bytesTotal)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env, err := em.NewEnv(em.Config{BlockSize: 4096, MemBlocks: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := New(env, em.CatMergeRun, func(a, c []byte) int { return bytes.Compare(a, c) }, 14)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := s.Add(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		it, err := s.Sort()
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			if _, err := it.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != len(recs) {
+			b.Fatalf("%d records out", n)
+		}
+		it.Close()
+		s.Close()
+		env.Close()
+	}
+}

@@ -1,0 +1,328 @@
+// Package gen generates the XML workloads of the paper's evaluation
+// (Section 5), replacing its two generators:
+//
+//   - the IBM alphaWorks XML Generator (IBMSpec): the user specifies the
+//     height and the maximum fan-out; the fan-out of each element is a
+//     random number between 1 and the specified maximum;
+//
+//   - the authors' custom generator (CustomSpec): the exact fan-out for
+//     each level, "giving more precise control over the shape and the size
+//     of the generated document" — the generator behind Table 2 and the
+//     Figure 6/7 input series.
+//
+// Both generators stream their output with O(height) memory, emit elements
+// averaging a configurable size (the paper's test data averages about 150
+// bytes per element), and are fully deterministic for a given seed. Every
+// element carries a fixed-width random sort-key attribute, so documents
+// arrive in thoroughly unsorted order.
+package gen
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// DefaultElemSize is the target average element size in bytes, matching
+// the paper's "average element size of about 150 bytes".
+const DefaultElemSize = 150
+
+// DefaultKeyAttr is the attribute the generators write sort keys to.
+const DefaultKeyAttr = "key"
+
+// Stats describes a generated document.
+type Stats struct {
+	// Elements is N, the number of elements emitted.
+	Elements int64
+	// Bytes is the document's size in bytes.
+	Bytes int64
+	// MaxFanout is k, the maximum fan-out actually emitted.
+	MaxFanout int
+	// Height is the number of element levels.
+	Height int
+}
+
+// IBMSpec configures the IBM-alphaWorks-style generator.
+type IBMSpec struct {
+	// Height is the number of element levels (root at level 1).
+	Height int
+	// MaxFanout bounds each element's fan-out; the actual fan-out of
+	// every non-leaf element is uniform in [1, MaxFanout].
+	MaxFanout int
+	// MaxElements, when positive, truncates generation once the limit is
+	// reached (the random process otherwise produces documents of
+	// uncontrollable expected size (MaxFanout/2)^Height).
+	MaxElements int64
+	// Seed makes the document reproducible.
+	Seed int64
+	// ElemSize is the target average element size in bytes
+	// (DefaultElemSize when zero).
+	ElemSize int
+	// KeyAttr is the sort-key attribute name (DefaultKeyAttr when empty).
+	KeyAttr string
+}
+
+// CustomSpec configures the exact-shape generator behind Table 2.
+type CustomSpec struct {
+	// Fanouts[i] is the exact fan-out of every element at level i+1, so
+	// the document has len(Fanouts)+1 levels and
+	// 1 + f1 + f1·f2 + … elements.
+	Fanouts []int
+	// Seed makes the document reproducible.
+	Seed int64
+	// ElemSize is the target average element size in bytes.
+	ElemSize int
+	// KeyAttr is the sort-key attribute name.
+	KeyAttr string
+}
+
+// Elements returns the exact element count the spec will produce:
+// 1 + f1 + f1·f2 + … — the formula behind Table 2's size column.
+func (s CustomSpec) Elements() int64 {
+	total := int64(1)
+	level := int64(1)
+	for _, f := range s.Fanouts {
+		level *= int64(f)
+		total += level
+	}
+	return total
+}
+
+// Table2Spec returns the five input shapes of the paper's Table 2,
+// verbatim: heights 2-6, roughly three million elements each.
+func Table2Spec() []CustomSpec {
+	return []CustomSpec{
+		{Fanouts: []int{3000000}},
+		{Fanouts: []int{1733, 1733}},
+		{Fanouts: []int{144, 144, 144}},
+		{Fanouts: []int{41, 41, 42, 42}},
+		{Fanouts: []int{19, 19, 20, 20, 20}},
+	}
+}
+
+// ScaledShapeSeries reproduces the Table 2 construction at a different
+// scale: for each height 2..maxHeight it picks near-uniform per-level
+// fan-outs whose element total approximates target, the same balancing the
+// paper used (compare 41,41,42,42). The fan-out at every level is at least
+// 2 so the shape stays tree-like.
+func ScaledShapeSeries(target int64, maxHeight int) []CustomSpec {
+	var specs []CustomSpec
+	for h := 2; h <= maxHeight; h++ {
+		specs = append(specs, scaledShape(target, h))
+	}
+	return specs
+}
+
+// CappedShape reproduces the Figure 6 input construction: the smallest
+// near-uniform shape reaching about target elements with every fan-out
+// capped at maxFan, growing taller as the target grows so the document
+// keeps "enough hierarchicalness and does not become array-like".
+func CappedShape(target int64, maxFan int) CustomSpec {
+	if maxFan < 2 {
+		maxFan = 2
+	}
+	for levels := 1; ; levels++ {
+		spec := cappedShapeAt(target, levels, maxFan)
+		if spec.Elements() >= target || levels > 40 {
+			return spec
+		}
+	}
+}
+
+func cappedShapeAt(target int64, levels, maxFan int) CustomSpec {
+	base := int(math.Pow(float64(target), 1/float64(levels)))
+	if base < 2 {
+		base = 2
+	}
+	if base > maxFan {
+		base = maxFan
+	}
+	fan := make([]int, levels)
+	for i := range fan {
+		fan[i] = base
+	}
+	spec := CustomSpec{Fanouts: fan}
+	for spec.Elements() < target {
+		grew := false
+		for i := levels - 1; i >= 0; i-- {
+			if fan[i] < maxFan {
+				fan[i]++
+				grew = true
+				break
+			}
+		}
+		if !grew {
+			break // every level at the cap; the caller adds a level
+		}
+	}
+	return spec
+}
+
+func scaledShape(target int64, height int) CustomSpec {
+	levels := height - 1
+	if levels == 1 {
+		return CustomSpec{Fanouts: []int{int(target) - 1}}
+	}
+	base := int(math.Pow(float64(target), 1/float64(levels)))
+	if base < 2 {
+		base = 2
+	}
+	fan := make([]int, levels)
+	for i := range fan {
+		fan[i] = base
+	}
+	spec := CustomSpec{Fanouts: fan}
+	// Nudge fan-outs upward round-robin from the deepest level until the
+	// total meets the target, mirroring the paper's 41,41,42,42 pattern:
+	// increments stay spread across levels, so fan-outs remain
+	// near-uniform.
+	for i := levels - 1; spec.Elements() < target; {
+		fan[i]++
+		if i--; i < 0 {
+			i = levels - 1
+		}
+	}
+	return spec
+}
+
+// Write streams the document to w and returns its statistics.
+func (s IBMSpec) Write(w io.Writer) (Stats, error) {
+	if s.Height < 1 {
+		return Stats{}, fmt.Errorf("gen: height %d out of range", s.Height)
+	}
+	if s.MaxFanout < 1 {
+		return Stats{}, fmt.Errorf("gen: max fan-out %d out of range", s.MaxFanout)
+	}
+	g := newEmitter(w, s.ElemSize, s.KeyAttr, s.Seed)
+	err := g.emitIBM(1, s.Height, s.MaxFanout, s.MaxElements)
+	return g.finish(err)
+}
+
+// Write streams the document to w and returns its statistics.
+func (s CustomSpec) Write(w io.Writer) (Stats, error) {
+	if len(s.Fanouts) == 0 {
+		return Stats{}, fmt.Errorf("gen: custom spec needs at least one level of fan-outs")
+	}
+	for _, f := range s.Fanouts {
+		if f < 1 {
+			return Stats{}, fmt.Errorf("gen: fan-out %d out of range", f)
+		}
+	}
+	g := newEmitter(w, s.ElemSize, s.KeyAttr, s.Seed)
+	err := g.emitCustom(1, s.Fanouts)
+	return g.finish(err)
+}
+
+// emitter streams elements and tracks statistics.
+type emitter struct {
+	w        io.Writer
+	rng      *rand.Rand
+	keyAttr  string
+	filler   string
+	elements int64
+	bytes    int64
+	maxFan   int
+	height   int
+	err      error
+}
+
+func newEmitter(w io.Writer, elemSize int, keyAttr string, seed int64) *emitter {
+	if elemSize <= 0 {
+		elemSize = DefaultElemSize
+	}
+	if keyAttr == "" {
+		keyAttr = DefaultKeyAttr
+	}
+	e := &emitter{w: w, rng: rand.New(rand.NewSource(seed)), keyAttr: keyAttr}
+	// Element emission overhead besides the filler attribute:
+	//   <nNN key="dddddddd" pad="..."></nNN>
+	// Tag ~4, attrs ~22, end tag ~7, pad attr syntax ~8. Pad the filler
+	// so total ≈ elemSize.
+	overhead := 4 + 2 + len(keyAttr) + 3 + keyWidth + 2 + 7 + 4 + 2 + 7
+	pad := elemSize - overhead
+	if pad < 0 {
+		pad = 0
+	}
+	e.filler = strings.Repeat("x", pad)
+	return e
+}
+
+// keyWidth is the fixed digit width of generated sort keys.
+const keyWidth = 8
+
+func (e *emitter) print(s string) {
+	if e.err != nil {
+		return
+	}
+	n, err := io.WriteString(e.w, s)
+	e.bytes += int64(n)
+	e.err = err
+}
+
+func (e *emitter) open(level int) {
+	e.elements++
+	if level > e.height {
+		e.height = level
+	}
+	e.print(fmt.Sprintf(`<n%d %s="%0*d" pad="%s">`,
+		level, e.keyAttr, keyWidth, e.rng.Intn(100000000), e.filler))
+}
+
+func (e *emitter) close(level int) {
+	e.print(fmt.Sprintf("</n%d>", level))
+}
+
+func (e *emitter) observeFanout(f int) {
+	if f > e.maxFan {
+		e.maxFan = f
+	}
+}
+
+func (e *emitter) emitIBM(level, height, maxFan int, maxElements int64) error {
+	e.open(level)
+	if level < height {
+		f := 1 + e.rng.Intn(maxFan)
+		emitted := 0
+		for i := 0; i < f; i++ {
+			if maxElements > 0 && e.elements >= maxElements {
+				break
+			}
+			if err := e.emitIBM(level+1, height, maxFan, maxElements); err != nil {
+				return err
+			}
+			emitted++
+		}
+		e.observeFanout(emitted)
+	}
+	e.close(level)
+	return e.err
+}
+
+func (e *emitter) emitCustom(level int, fanouts []int) error {
+	e.open(level)
+	if len(fanouts) > 0 {
+		f := fanouts[0]
+		e.observeFanout(f)
+		for i := 0; i < f; i++ {
+			if err := e.emitCustom(level+1, fanouts[1:]); err != nil {
+				return err
+			}
+		}
+	}
+	e.close(level)
+	return e.err
+}
+
+func (e *emitter) finish(err error) (Stats, error) {
+	if err == nil {
+		err = e.err
+	}
+	return Stats{
+		Elements:  e.elements,
+		Bytes:     e.bytes,
+		MaxFanout: e.maxFan,
+		Height:    e.height,
+	}, err
+}

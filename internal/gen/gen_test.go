@@ -1,0 +1,260 @@
+package gen
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nexsort/internal/xmltree"
+)
+
+// TestTable2Counts verifies the spec formula against the paper's Table 2
+// size column, exactly.
+func TestTable2Counts(t *testing.T) {
+	want := []int64{3000001, 3005023, 3006865, 3037609, 3040001}
+	specs := Table2Spec()
+	if len(specs) != len(want) {
+		t.Fatalf("%d specs", len(specs))
+	}
+	for i, spec := range specs {
+		if got := spec.Elements(); got != want[i] {
+			t.Errorf("height %d: Elements() = %d, want %d", i+2, got, want[i])
+		}
+	}
+}
+
+func TestCustomWriteShape(t *testing.T) {
+	spec := CustomSpec{Fanouts: []int{3, 2}, Seed: 1}
+	var buf bytes.Buffer
+	st, err := spec.Write(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Elements != spec.Elements() || st.Elements != 10 {
+		t.Errorf("Elements = %d, want 10", st.Elements)
+	}
+	if st.Height != 3 || st.MaxFanout != 3 {
+		t.Errorf("Height = %d, MaxFanout = %d", st.Height, st.MaxFanout)
+	}
+	if st.Bytes != int64(buf.Len()) {
+		t.Errorf("Bytes = %d, buffer = %d", st.Bytes, buf.Len())
+	}
+
+	// The document must parse, and the parsed tree must agree with the
+	// reported shape.
+	n, err := xmltree.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.CountElements() != 10 || n.Height() != 3 || n.MaxFanout() != 3 {
+		t.Errorf("parsed shape: N=%d h=%d k=%d", n.CountElements(), n.Height(), n.MaxFanout())
+	}
+}
+
+func TestElementSizeApproximation(t *testing.T) {
+	spec := CustomSpec{Fanouts: []int{10, 10}, Seed: 2}
+	var buf bytes.Buffer
+	st, err := spec.Write(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := float64(st.Bytes) / float64(st.Elements)
+	if avg < 130 || avg > 170 {
+		t.Errorf("average element size = %.1f bytes, want ≈150", avg)
+	}
+	// Custom element size.
+	var buf2 bytes.Buffer
+	st2, _ := CustomSpec{Fanouts: []int{10, 10}, Seed: 2, ElemSize: 80}.Write(&buf2)
+	avg2 := float64(st2.Bytes) / float64(st2.Elements)
+	if avg2 < 60 || avg2 > 100 {
+		t.Errorf("80-byte spec: average = %.1f", avg2)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	spec := IBMSpec{Height: 4, MaxFanout: 5, Seed: 7}
+	var a, b bytes.Buffer
+	if _, err := spec.Write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same seed produced different documents")
+	}
+	spec.Seed = 8
+	var c bytes.Buffer
+	spec.Write(&c)
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Error("different seeds produced identical documents")
+	}
+}
+
+func TestIBMFanoutBounds(t *testing.T) {
+	spec := IBMSpec{Height: 5, MaxFanout: 4, Seed: 3}
+	var buf bytes.Buffer
+	st, err := spec.Write(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxFanout > 4 {
+		t.Errorf("MaxFanout = %d exceeds spec", st.MaxFanout)
+	}
+	if st.Height != 5 {
+		t.Errorf("Height = %d, want 5", st.Height)
+	}
+	n, err := xmltree.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.MaxFanout() != st.MaxFanout || n.Height() != st.Height {
+		t.Errorf("parsed k=%d h=%d vs reported k=%d h=%d",
+			n.MaxFanout(), n.Height(), st.MaxFanout, st.Height)
+	}
+}
+
+func TestIBMMaxElementsCap(t *testing.T) {
+	spec := IBMSpec{Height: 10, MaxFanout: 10, MaxElements: 500, Seed: 1}
+	var buf bytes.Buffer
+	st, err := spec.Write(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cap stops sibling expansion; a chain to the leaf level may
+	// still be completing, so allow the height's worth of slack.
+	if st.Elements < 400 || st.Elements > 510 {
+		t.Errorf("Elements = %d, want ≈500", st.Elements)
+	}
+	if _, err := xmltree.Parse(&buf); err != nil {
+		t.Errorf("capped document does not parse: %v", err)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := (IBMSpec{Height: 0, MaxFanout: 3}).Write(io.Discard); err == nil {
+		t.Error("zero height should fail")
+	}
+	if _, err := (IBMSpec{Height: 3, MaxFanout: 0}).Write(io.Discard); err == nil {
+		t.Error("zero fan-out should fail")
+	}
+	if _, err := (CustomSpec{}).Write(io.Discard); err == nil {
+		t.Error("empty custom spec should fail")
+	}
+	if _, err := (CustomSpec{Fanouts: []int{3, 0}}).Write(io.Discard); err == nil {
+		t.Error("zero level fan-out should fail")
+	}
+}
+
+func TestScaledShapeSeries(t *testing.T) {
+	const target = 5000
+	specs := ScaledShapeSeries(target, 6)
+	if len(specs) != 5 {
+		t.Fatalf("%d specs, want 5 (heights 2-6)", len(specs))
+	}
+	for i, spec := range specs {
+		h := i + 2
+		if len(spec.Fanouts) != h-1 {
+			t.Errorf("height %d: %d fan-out levels", h, len(spec.Fanouts))
+		}
+		n := spec.Elements()
+		if n < target || n > target*13/10 {
+			t.Errorf("height %d: %d elements, want within [target, 1.3×target]", h, n)
+		}
+		// Fan-outs are near-uniform: max-min ≤ 1 like 41,41,42,42.
+		min, max := spec.Fanouts[0], spec.Fanouts[0]
+		for _, f := range spec.Fanouts {
+			if f < min {
+				min = f
+			}
+			if f > max {
+				max = f
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("height %d: fan-outs %v not near-uniform", h, spec.Fanouts)
+		}
+	}
+}
+
+func TestCappedShape(t *testing.T) {
+	for _, target := range []int64{100, 5000, 200000} {
+		spec := CappedShape(target, 85)
+		for _, f := range spec.Fanouts {
+			if f > 85 {
+				t.Errorf("target %d: fan-out %d exceeds cap", target, f)
+			}
+		}
+		n := spec.Elements()
+		if n < target || n > target*2 {
+			t.Errorf("target %d: got %d elements", target, n)
+		}
+	}
+	// Growing targets under a cap grow taller, not wider.
+	small := CappedShape(1000, 10)
+	big := CappedShape(100000, 10)
+	if len(big.Fanouts) <= len(small.Fanouts) {
+		t.Errorf("capped shape did not grow taller: %v vs %v", small.Fanouts, big.Fanouts)
+	}
+}
+
+// Property: every generated document is well-formed and matches its
+// reported statistics.
+func TestGeneratedDocsParseQuick(t *testing.T) {
+	f := func(seed int64, h, fanRaw uint8) bool {
+		height := 1 + int(h%5)
+		fan := 1 + int(fanRaw%5)
+		spec := IBMSpec{Height: height, MaxFanout: fan, Seed: seed, MaxElements: 2000}
+		var buf bytes.Buffer
+		st, err := spec.Write(&buf)
+		if err != nil {
+			return false
+		}
+		n, err := xmltree.Parse(strings.NewReader(buf.String()))
+		if err != nil {
+			return false
+		}
+		return int64(n.CountElements()) == st.Elements &&
+			n.Height() == st.Height &&
+			(st.Elements == 1 || n.MaxFanout() == st.MaxFanout)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSiteSpec(t *testing.T) {
+	var buf bytes.Buffer
+	st, err := SiteSpec{Items: 5, MaxBids: 4, Seed: 3}.Write(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := xmltree.Parse(&buf)
+	if err != nil {
+		t.Fatalf("site document does not parse: %v", err)
+	}
+	if int64(n.CountElements()) != st.Elements {
+		t.Errorf("Elements = %d, tree says %d", st.Elements, n.CountElements())
+	}
+	if n.Height() != st.Height || st.Height != 5 {
+		t.Errorf("Height = %d/%d", st.Height, n.Height())
+	}
+	if n.Children[0].Name != "region" || len(n.Children) != 6 {
+		t.Errorf("root children: %d x %s", len(n.Children), n.Children[0].Name)
+	}
+	if _, err := (SiteSpec{Items: 0}).Write(io.Discard); err == nil {
+		t.Error("zero items should fail")
+	}
+	if _, err := (SiteSpec{Items: 1, MaxBids: -1}).Write(io.Discard); err == nil {
+		t.Error("negative MaxBids should fail")
+	}
+	// Deterministic per seed.
+	var a, b bytes.Buffer
+	SiteSpec{Items: 3, MaxBids: 2, Seed: 9}.Write(&a)
+	SiteSpec{Items: 3, MaxBids: 2, Seed: 9}.Write(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("site generator not deterministic")
+	}
+}

@@ -1,0 +1,118 @@
+package gen
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// SiteSpec generates an auction-site-like document in the spirit of the
+// XMark family of XML benchmarks: a heterogeneous schema rather than the
+// uniform shapes of the paper's generators. It exists to exercise
+// multi-rule ordering criteria (different key attributes per tag, text
+// children mixed between elements) at scale:
+//
+//	<site>
+//	  <region name="...">            6 fixed regions, shuffled
+//	    <item id="I...">             Items items per region, random ids
+//	      <name>...</name>
+//	      <bids>
+//	        <bid amount="..." bidder="..."/>   0..MaxBids bids
+//	      </bids>
+//	    </item>
+//	  </region>
+//	</site>
+//
+// A natural criterion sorts regions by name, items by id, and bids by
+// (zero-padded) amount; name/bids children have no rule and keep document
+// order.
+type SiteSpec struct {
+	// Items is the number of items per region.
+	Items int
+	// MaxBids bounds the bids per item (actual count uniform in
+	// [0, MaxBids]).
+	MaxBids int
+	// Seed makes the document reproducible.
+	Seed int64
+}
+
+// siteRegions are the fixed region names, emitted in seed-shuffled order.
+var siteRegions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+// Write streams the document to w.
+func (s SiteSpec) Write(w io.Writer) (Stats, error) {
+	if s.Items < 1 {
+		return Stats{}, fmt.Errorf("gen: site spec needs at least one item per region")
+	}
+	if s.MaxBids < 0 {
+		return Stats{}, fmt.Errorf("gen: negative MaxBids")
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	cw := &countWriter{w: w}
+	st := Stats{Height: 5}
+	emit := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(cw, format, args...)
+		return err
+	}
+
+	regions := append([]string(nil), siteRegions...)
+	rng.Shuffle(len(regions), func(i, j int) { regions[i], regions[j] = regions[j], regions[i] })
+
+	if err := emit("<site>"); err != nil {
+		return st, err
+	}
+	st.Elements++
+	st.MaxFanout = len(regions)
+	for _, region := range regions {
+		if err := emit(`<region name="%s">`, region); err != nil {
+			return st, err
+		}
+		st.Elements++
+		if s.Items > st.MaxFanout {
+			st.MaxFanout = s.Items
+		}
+		for i := 0; i < s.Items; i++ {
+			bids := 0
+			if s.MaxBids > 0 {
+				bids = rng.Intn(s.MaxBids + 1)
+			}
+			if err := emit(`<item id="I%08d"><name>Lot %d</name><bids>`,
+				rng.Intn(100000000), rng.Intn(100000)); err != nil {
+				return st, err
+			}
+			st.Elements += 3 // item, name, bids
+			if bids > st.MaxFanout {
+				st.MaxFanout = bids
+			}
+			for b := 0; b < bids; b++ {
+				if err := emit(`<bid amount="%09.2f" bidder="P%05d"></bid>`,
+					rng.Float64()*10000, rng.Intn(100000)); err != nil {
+					return st, err
+				}
+				st.Elements++
+			}
+			if err := emit("</bids></item>"); err != nil {
+				return st, err
+			}
+		}
+		if err := emit("</region>"); err != nil {
+			return st, err
+		}
+	}
+	if err := emit("</site>"); err != nil {
+		return st, err
+	}
+	st.Bytes = cw.n
+	return st, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

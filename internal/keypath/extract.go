@@ -1,0 +1,151 @@
+package keypath
+
+import (
+	"fmt"
+
+	"nexsort/internal/xmltok"
+)
+
+// Extractor turns an annotated token stream (keys present on start tags, as
+// the Annotator produces for start-resolvable criteria) into key-path
+// records, one per element, text node and run pointer.
+//
+// The extractor keeps the current root-to-element path and one child
+// counter per open element in memory. This mirrors the paper's baseline:
+// the key-path generator inherently carries the full current path — the
+// very space overhead on tall documents that Section 1 criticizes the
+// baseline for, reproduced here faithfully.
+type Extractor struct {
+	path     []Component
+	childSeq []int64 // next child sequence number per open element; [0] is a virtual super-root
+}
+
+// NewExtractor returns an empty extractor.
+func NewExtractor() *Extractor {
+	return &Extractor{childSeq: []int64{0}}
+}
+
+// Depth returns the number of currently open elements.
+func (e *Extractor) Depth() int { return len(e.path) }
+
+// OnToken consumes one token. For start tags, text and run pointers it
+// returns the node's record and ok=true; end tags return ok=false.
+func (e *Extractor) OnToken(tok xmltok.Token) (rec Record, ok bool, err error) {
+	switch tok.Kind {
+	case xmltok.KindStart:
+		if !tok.HasKey {
+			return Record{}, false, fmt.Errorf("%w: start tag <%s> has no key", ErrKeyNotResolvable, tok.Name)
+		}
+		seq := e.nextSeq()
+		e.path = append(e.path, Component{Key: tok.Key, Seq: seq})
+		e.childSeq = append(e.childSeq, 0)
+		return e.record(tok), true, nil
+
+	case xmltok.KindText:
+		seq := e.nextSeq()
+		e.path = append(e.path, Component{Key: "", Seq: seq})
+		rec := e.record(tok)
+		e.path = e.path[:len(e.path)-1]
+		return rec, true, nil
+
+	case xmltok.KindRunPtr:
+		seq := e.nextSeq()
+		e.path = append(e.path, Component{Key: tok.Key, Seq: seq})
+		rec := e.record(tok)
+		e.path = e.path[:len(e.path)-1]
+		return rec, true, nil
+
+	case xmltok.KindEnd:
+		if len(e.path) == 0 {
+			return Record{}, false, fmt.Errorf("keypath: end tag </%s> with no open element", tok.Name)
+		}
+		e.path = e.path[:len(e.path)-1]
+		e.childSeq = e.childSeq[:len(e.childSeq)-1]
+		return Record{}, false, nil
+
+	default:
+		return Record{}, false, fmt.Errorf("keypath: unsupported token kind %v", tok.Kind)
+	}
+}
+
+func (e *Extractor) nextSeq() int64 {
+	top := len(e.childSeq) - 1
+	seq := e.childSeq[top]
+	e.childSeq[top]++
+	return seq
+}
+
+func (e *Extractor) record(tok xmltok.Token) Record {
+	path := make([]Component, len(e.path))
+	copy(path, e.path)
+	return Record{Path: path, Tok: tok}
+}
+
+// Builder reconstructs a token stream from records arriving in sorted
+// order: the depth-first traversal of the sorted document. It emits start
+// tags as paths extend, and end tags as paths retreat — including the
+// final end tags on Finish. Like the extractor, it holds the current open
+// path in memory.
+type Builder struct {
+	openComps []Component
+	openNames []string
+	emit      func(xmltok.Token) error
+}
+
+// NewBuilder creates a builder that sends reconstructed tokens to emit.
+func NewBuilder(emit func(xmltok.Token) error) *Builder {
+	return &Builder{emit: emit}
+}
+
+// OnRecord consumes the next record of a sorted stream.
+func (b *Builder) OnRecord(rec Record) error {
+	if len(rec.Path) == 0 {
+		return fmt.Errorf("keypath: record with empty path")
+	}
+	parent := rec.Path[:len(rec.Path)-1]
+	// Find how much of the open chain this record's parent path shares.
+	common := 0
+	for common < len(b.openComps) && common < len(parent) &&
+		b.openComps[common] == parent[common] {
+		common++
+	}
+	// Close elements beyond the common prefix.
+	for len(b.openComps) > common {
+		if err := b.closeTop(); err != nil {
+			return err
+		}
+	}
+	if len(b.openComps) != len(parent) {
+		return fmt.Errorf("keypath: record %v arrived with parent not open (records out of order?)", rec.PathString())
+	}
+	switch rec.Tok.Kind {
+	case xmltok.KindStart:
+		if err := b.emit(rec.Tok); err != nil {
+			return err
+		}
+		b.openComps = append(b.openComps, rec.Path[len(rec.Path)-1])
+		b.openNames = append(b.openNames, rec.Tok.Name)
+		return nil
+	case xmltok.KindText, xmltok.KindRunPtr:
+		return b.emit(rec.Tok)
+	default:
+		return fmt.Errorf("keypath: record holds unsupported token kind %v", rec.Tok.Kind)
+	}
+}
+
+func (b *Builder) closeTop() error {
+	name := b.openNames[len(b.openNames)-1]
+	b.openComps = b.openComps[:len(b.openComps)-1]
+	b.openNames = b.openNames[:len(b.openNames)-1]
+	return b.emit(xmltok.Token{Kind: xmltok.KindEnd, Name: name})
+}
+
+// Finish closes all remaining open elements.
+func (b *Builder) Finish() error {
+	for len(b.openComps) > 0 {
+		if err := b.closeTop(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

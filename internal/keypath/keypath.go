@@ -1,0 +1,242 @@
+// Package keypath implements the key-path representation of an XML document
+// (Table 1 of the paper): one record per node, carrying the concatenation
+// of the ordering keys of all elements along the path from the root. The
+// regular external-merge-sort competitor sorts these records; because key
+// paths encode every ancestor, sorting the records by path order preserves
+// all parent–child relationships, and the sorted record stream is exactly
+// the depth-first traversal of the sorted document.
+//
+// Each path component is the pair (key, seq): the ancestor's ordering key
+// plus its original position among its siblings, the uniqueness device of
+// Section 1 ("if not [unique], we can make it unique by appending it with
+// the element's location in the input"). Text nodes take the empty key, so
+// they sort ahead of keyed element siblings in document order — the same
+// total order every other sorter in this repository uses.
+//
+// The package provides the record codec and comparator, the Extractor that
+// turns an annotated token stream into records, and the Builder that turns
+// a sorted record stream back into a token stream.
+package keypath
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+
+	"nexsort/internal/xmltok"
+)
+
+// Component is one step of a key path.
+type Component struct {
+	// Key is the element's ordering key ("" for text nodes and for
+	// elements with no applicable rule).
+	Key string
+	// Seq is the element's position among its siblings in the original
+	// document.
+	Seq int64
+}
+
+// Compare orders components by (Key, Seq).
+func (c Component) Compare(o Component) int {
+	if c.Key != o.Key {
+		if c.Key < o.Key {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case c.Seq < o.Seq:
+		return -1
+	case c.Seq > o.Seq:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Record is one node of the key-path representation: the path from the root
+// down to and including the node itself, plus the node's own content (a
+// start tag with attributes, a text token, or a run pointer — never the
+// node's children, which have records of their own).
+type Record struct {
+	Path []Component
+	Tok  xmltok.Token
+}
+
+// Compare orders records by path, component-wise, with a strict path prefix
+// sorting first — so a parent's record precedes all of its descendants',
+// exactly the Table 1 order.
+func (r Record) Compare(o Record) int {
+	n := len(r.Path)
+	if len(o.Path) < n {
+		n = len(o.Path)
+	}
+	for i := 0; i < n; i++ {
+		if c := r.Path[i].Compare(o.Path[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(r.Path) < len(o.Path):
+		return -1
+	case len(r.Path) > len(o.Path):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// PathString renders the path in the paper's display form: "/" followed by
+// the keys of the components below the root, separated by "/". The root's
+// own (empty) key is not shown, so the root renders as "/" and a region
+// with key NE under it renders as "/NE".
+func (r Record) PathString() string {
+	if len(r.Path) <= 1 {
+		return "/"
+	}
+	parts := make([]string, 0, len(r.Path)-1)
+	for _, c := range r.Path[1:] {
+		parts = append(parts, c.Key)
+	}
+	return "/" + strings.Join(parts, "/")
+}
+
+// Record encoding: path length, then per component key (uvarint-prefixed
+// string) and seq (uvarint), then the node token via the xmltok codec. The
+// path comes first so comparisons can stop before decoding the token.
+
+// AppendRecord appends the binary encoding of rec to dst.
+func AppendRecord(dst []byte, rec Record) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(rec.Path)))
+	for _, c := range rec.Path {
+		dst = binary.AppendUvarint(dst, uint64(len(c.Key)))
+		dst = append(dst, c.Key...)
+		dst = binary.AppendUvarint(dst, uint64(c.Seq))
+	}
+	return xmltok.AppendToken(dst, rec.Tok)
+}
+
+// maxPathLen bounds decoded path lengths against corrupt input.
+const maxPathLen = 1 << 20
+
+// ReadRecord decodes one record from r, returning io.EOF at a clean end.
+func ReadRecord(r io.ByteReader) (Record, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, err
+	}
+	if n > maxPathLen {
+		return Record{}, fmt.Errorf("keypath: corrupt record: path length %d", n)
+	}
+	rec := Record{Path: make([]Component, n)}
+	for i := range rec.Path {
+		keyLen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return Record{}, unexpected(err)
+		}
+		if keyLen > maxPathLen {
+			return Record{}, fmt.Errorf("keypath: corrupt record: key length %d", keyLen)
+		}
+		key := make([]byte, keyLen)
+		for j := range key {
+			b, err := r.ReadByte()
+			if err != nil {
+				return Record{}, unexpected(err)
+			}
+			key[j] = b
+		}
+		seq, err := binary.ReadUvarint(r)
+		if err != nil {
+			return Record{}, unexpected(err)
+		}
+		rec.Path[i] = Component{Key: string(key), Seq: int64(seq)}
+	}
+	tok, err := xmltok.ReadToken(r)
+	if err != nil {
+		return Record{}, unexpected(err)
+	}
+	rec.Tok = tok
+	return rec, nil
+}
+
+// CompareEncoded orders two encoded records without decoding their tokens.
+// It is the comparator handed to the external sorter.
+func CompareEncoded(a, b []byte) int {
+	ra := &byteCursor{buf: a}
+	rb := &byteCursor{buf: b}
+	na, _ := binary.ReadUvarint(ra)
+	nb, _ := binary.ReadUvarint(rb)
+	n := na
+	if nb < n {
+		n = nb
+	}
+	for i := uint64(0); i < n; i++ {
+		ka := ra.readString()
+		kb := rb.readString()
+		if ka != kb {
+			if ka < kb {
+				return -1
+			}
+			return 1
+		}
+		sa, _ := binary.ReadUvarint(ra)
+		sb, _ := binary.ReadUvarint(rb)
+		if sa != sb {
+			if sa < sb {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case na < nb:
+		return -1
+	case na > nb:
+		return 1
+	default:
+		return 0
+	}
+}
+
+type byteCursor struct {
+	buf []byte
+	pos int
+}
+
+func (c *byteCursor) ReadByte() (byte, error) {
+	if c.pos >= len(c.buf) {
+		return 0, io.EOF
+	}
+	b := c.buf[c.pos]
+	c.pos++
+	return b, nil
+}
+
+func (c *byteCursor) readString() string {
+	n, err := binary.ReadUvarint(c)
+	if err != nil || c.pos+int(n) > len(c.buf) {
+		return ""
+	}
+	s := string(c.buf[c.pos : c.pos+int(n)])
+	c.pos += int(n)
+	return s
+}
+
+func unexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// ErrKeyNotResolvable is returned by the Extractor when the criterion needs
+// a subtree pass to compute a key. The key-path representation requires
+// every ancestor's key at the moment a descendant record is emitted, so
+// this baseline — like the paper's — supports start-resolvable criteria
+// (attributes, tag names) only; path criteria are served by NEXSORT and the
+// in-memory sorter.
+var ErrKeyNotResolvable = fmt.Errorf("keypath: ordering criterion is not resolvable at start tags")

@@ -1,0 +1,49 @@
+package keypath
+
+import (
+	"strings"
+
+	"nexsort/internal/xmltok"
+)
+
+// Row is one display row of the key-path table (Table 1 of the paper).
+type Row struct {
+	Path    string
+	Content string
+}
+
+// FormatTable renders records in the paper's Table 1 display form: one row
+// per element with its start tag as content, and a text node folded into
+// its parent's row when it directly follows it (the paper shows
+// "<name>Smith" as a single row).
+func FormatTable(recs []Record) []Row {
+	var rows []Row
+	var lastElemPathLen = -1
+	for _, rec := range recs {
+		switch rec.Tok.Kind {
+		case xmltok.KindStart:
+			rows = append(rows, Row{Path: rec.PathString(), Content: startTagString(rec.Tok)})
+			lastElemPathLen = len(rec.Path)
+		case xmltok.KindText:
+			if len(rows) > 0 && len(rec.Path) == lastElemPathLen+1 {
+				rows[len(rows)-1].Content += rec.Tok.Text
+			} else {
+				rows = append(rows, Row{Path: rec.PathString(), Content: rec.Tok.Text})
+			}
+		case xmltok.KindRunPtr:
+			rows = append(rows, Row{Path: rec.PathString(), Content: "(run pointer)"})
+		}
+	}
+	return rows
+}
+
+func startTagString(tok xmltok.Token) string {
+	var sb strings.Builder
+	sb.WriteByte('<')
+	sb.WriteString(tok.Name)
+	for _, a := range tok.Attrs {
+		sb.WriteString(" " + a.Name + `="` + a.Value + `"`)
+	}
+	sb.WriteByte('>')
+	return sb.String()
+}

@@ -1,0 +1,100 @@
+package merge
+
+import (
+	"io"
+
+	"nexsort/internal/keys"
+	"nexsort/internal/xmltree"
+)
+
+// NestedLoop merges two document trees with the naive strategy of the
+// paper's Example 1.1: "for each employee element, we find the matching
+// element in the other document by traversing through the matching region
+// and branch elements". Neither input needs to be sorted; the result is
+// returned unsorted (sort it to compare with the streaming merge). It
+// exists as the correctness oracle for Documents and as the baseline whose
+// access pattern the sort-merge strategy exists to avoid.
+//
+// Inputs are not modified; keys are computed on private clones.
+func NestedLoop(left, right *xmltree.Node, c *keys.Criterion, opts Options) (*xmltree.Node, error) {
+	a := left.Clone()
+	b := right.Clone()
+	a.ComputeKeys(c)
+	b.ComputeKeys(c)
+	// Roots match by tag name and equal (possibly empty) key, mirroring
+	// the streaming merge.
+	if a.Kind != xmltree.Elem || b.Kind != xmltree.Elem || a.Name != b.Name || a.Key != b.Key {
+		return nil, rootMismatchError(a, b)
+	}
+	return mergeNodes(a, b, opts), nil
+}
+
+func rootMismatchError(a, b *xmltree.Node) error {
+	return &RootMismatchError{LeftName: a.Name, LeftKey: a.Key, RightName: b.Name, RightKey: b.Key}
+}
+
+// RootMismatchError reports that two documents' roots cannot merge.
+type RootMismatchError struct {
+	LeftName, LeftKey, RightName, RightKey string
+}
+
+func (e *RootMismatchError) Error() string {
+	return "merge: root elements <" + e.LeftName + " key=" + e.LeftKey +
+		"> and <" + e.RightName + " key=" + e.RightKey + "> do not match"
+}
+
+func nodesMatch(a, b *xmltree.Node) bool {
+	return a.Kind == xmltree.Elem && b.Kind == xmltree.Elem &&
+		a.Name == b.Name && a.Key != "" && a.Key == b.Key
+}
+
+// mergeNodes merges two matched elements: attribute union, then for each of
+// a's element children the first unused matching child of b is located by
+// linear scan (the nested loop) and merged recursively; all unmatched b
+// children are appended after a's.
+func mergeNodes(a, b *xmltree.Node, opts Options) *xmltree.Node {
+	out := &xmltree.Node{Kind: xmltree.Elem, Name: a.Name, Key: a.Key, Seq: a.Seq}
+	out.Attrs = unionAttrs(a.Attrs, b.Attrs, opts.PreferRight)
+
+	used := make([]bool, len(b.Children))
+	for _, ac := range a.Children {
+		matched := -1
+		if ac.Kind == xmltree.Elem && ac.Key != "" {
+			for j, bc := range b.Children {
+				if !used[j] && nodesMatch(ac, bc) {
+					matched = j
+					break
+				}
+			}
+		}
+		if matched >= 0 {
+			used[matched] = true
+			out.Children = append(out.Children, mergeNodes(ac, b.Children[matched], opts))
+		} else {
+			out.Children = append(out.Children, ac.Clone())
+		}
+	}
+	for j, bc := range b.Children {
+		if !used[j] {
+			cp := bc.Clone()
+			// Unmatched right-side children sort after equal-keyed left
+			// children: give them sequence numbers past a's range.
+			cp.Seq += int64(len(a.Children))
+			out.Children = append(out.Children, cp)
+		}
+	}
+	return out
+}
+
+// ApplyUpdates implements the paper's second application (Section 1):
+// batch updates to an existing sorted document. The update document — a
+// partial document in the same shape — is merged into the base with update
+// attribute values winning conflicts; matched elements are updated in
+// place, unmatched update elements are inserted at their sorted positions,
+// and the result document remains sorted.
+//
+// base and updates must both be sorted by c; sort the update batch first,
+// exactly as the paper prescribes.
+func ApplyUpdates(base, updates io.Reader, c *keys.Criterion, out io.Writer, indent string) (*Report, error) {
+	return Documents(base, updates, c, out, Options{PreferRight: true, Indent: indent})
+}

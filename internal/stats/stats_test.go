@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"math/rand"
+
+	"nexsort/internal/gen"
+	"nexsort/internal/xmltree"
+)
+
+func TestScanByHand(t *testing.T) {
+	doc := `<r><a x="1">text<b/><b/></a><a/></r>`
+	d, err := Scan(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Elements != 5 || d.TextNodes != 1 {
+		t.Errorf("N=%d texts=%d", d.Elements, d.TextNodes)
+	}
+	if d.Height != 3 {
+		t.Errorf("height = %d", d.Height)
+	}
+	// First <a> has 3 children (text + 2 b's): k = 3.
+	if d.MaxFanout != 3 {
+		t.Errorf("k = %d", d.MaxFanout)
+	}
+	if int64(len(doc)) != d.Bytes {
+		t.Errorf("bytes = %d, want %d", d.Bytes, len(doc))
+	}
+	if len(d.Levels) != 3 || d.Levels[0].Elements != 1 || d.Levels[1].Elements != 2 || d.Levels[2].Elements != 2 {
+		t.Errorf("levels = %+v", d.Levels)
+	}
+	if d.Levels[1].MaxFanout != 3 {
+		t.Errorf("level-2 fanout = %d", d.Levels[1].MaxFanout)
+	}
+}
+
+func TestScanMalformed(t *testing.T) {
+	if _, err := Scan(strings.NewReader("<a><b></a>")); err == nil {
+		t.Error("malformed input should error")
+	}
+}
+
+// Property: the streaming scan agrees with the in-memory tree on generated
+// and random documents.
+func TestScanMatchesTreeQuick(t *testing.T) {
+	f := func(seed int64, h, fan uint8) bool {
+		spec := gen.IBMSpec{
+			Height:      1 + int(h%5),
+			MaxFanout:   1 + int(fan%6),
+			MaxElements: 600,
+			Seed:        seed,
+			ElemSize:    60,
+		}
+		var sb strings.Builder
+		if _, err := spec.Write(&sb); err != nil {
+			return false
+		}
+		doc := sb.String()
+		d, err := Scan(strings.NewReader(doc))
+		if err != nil {
+			return false
+		}
+		tree, err := xmltree.ParseString(doc)
+		if err != nil {
+			return false
+		}
+		return d.Elements == int64(tree.CountElements()) &&
+			d.Height == tree.Height() &&
+			d.MaxFanout == tree.MaxFanout()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScanLevelTotals(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var sb strings.Builder
+	if _, err := (gen.CustomSpec{Fanouts: []int{7, 6, 5}, Seed: rng.Int63()}).Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Scan(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 7, 42, 210}
+	var total int64
+	for i, lv := range d.Levels {
+		if lv.Elements != want[i] {
+			t.Errorf("level %d: %d elements, want %d", i+1, lv.Elements, want[i])
+		}
+		total += lv.Elements
+	}
+	if total != d.Elements {
+		t.Errorf("level totals %d != N %d", total, d.Elements)
+	}
+}

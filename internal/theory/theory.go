@@ -1,0 +1,253 @@
+// Package theory reproduces the combinatorial machinery of the paper's
+// Section 4.1 — the part of the result that is proved rather than
+// measured — so that the proofs can be checked mechanically:
+//
+//   - CountOutcomes computes the exact number of possible sorting outcomes
+//     of a document tree: the product of the factorials of all fan-outs
+//     (every child list can arrive in any permutation; nothing can cross a
+//     parent boundary).
+//
+//   - MaxOutcomes computes Lemma 4.2's closed form for the adversary's
+//     document, (k!)^⌊(N-1)/k⌋ · ((N-1) mod k)!, and AdversaryFanouts
+//     builds the shape itself (at most one element with neither 0 nor k
+//     children), so tests can verify Lemma 4.1 by exhaustive search over
+//     all trees of a given size: no shape beats the adversary.
+//
+//   - LowerBoundIOs evaluates Theorem 4.4's chain of inequalities
+//     numerically from Lemma 4.3's counting argument — the minimum T with
+//     (B!)^{N/B} · binom(MB, B)^T ≥ outcomes — alongside the asymptotic
+//     formula, so the slack introduced by each estimate is visible.
+//
+// Everything uses math/big; nothing here is approximate except where the
+// paper itself switches to Stirling.
+package theory
+
+import (
+	"math"
+	"math/big"
+)
+
+// Factorial returns n! as a big integer.
+func Factorial(n int64) *big.Int {
+	return new(big.Int).MulRange(1, max64(n, 1))
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Tree is a minimal shape-only tree for outcome counting.
+type Tree struct {
+	Children []*Tree
+}
+
+// Size returns the number of nodes.
+func (t *Tree) Size() int64 {
+	n := int64(1)
+	for _, c := range t.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// MaxFanout returns k.
+func (t *Tree) MaxFanout() int64 {
+	k := int64(len(t.Children))
+	for _, c := range t.Children {
+		if ck := c.MaxFanout(); ck > k {
+			k = ck
+		}
+	}
+	return k
+}
+
+// CountOutcomes returns the exact number of distinct fully-sorted
+// "outcomes" (legal orderings) of the tree: the product of fan-out
+// factorials over all nodes — the quantity Lemma 4.2's proof identifies
+// ("the total number of possible outcomes is the product of factorials of
+// all the fan-outs in the document tree").
+func (t *Tree) CountOutcomes() *big.Int {
+	total := big.NewInt(1)
+	var walk func(n *Tree)
+	walk = func(n *Tree) {
+		total.Mul(total, Factorial(int64(len(n.Children))))
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(t)
+	return total
+}
+
+// MaxOutcomes evaluates Lemma 4.2's closed form: the maximum number of
+// sorting outcomes over all documents with n elements and maximum fan-out
+// at most k, namely (k!)^⌊(n-1)/k⌋ · ((n-1) mod k)!.
+func MaxOutcomes(n, k int64) *big.Int {
+	if n <= 1 || k < 1 {
+		return big.NewInt(1)
+	}
+	full := (n - 1) / k
+	rem := (n - 1) % k
+	out := new(big.Int).Exp(Factorial(k), big.NewInt(full), nil)
+	return out.Mul(out, Factorial(rem))
+}
+
+// AdversaryFanouts returns the fan-out multiset of Lemma 4.1's worst-case
+// document with n elements and max fan-out k: ⌊(n-1)/k⌋ elements with
+// exactly k children, at most one with (n-1) mod k children, and leaves
+// elsewhere. Any tree realizing these fan-outs attains MaxOutcomes.
+func AdversaryFanouts(n, k int64) []int64 {
+	if n <= 1 {
+		return nil
+	}
+	var fans []int64
+	for i := int64(0); i < (n-1)/k; i++ {
+		fans = append(fans, k)
+	}
+	if rem := (n - 1) % k; rem > 0 {
+		fans = append(fans, rem)
+	}
+	return fans
+}
+
+// AdversaryTree materializes one tree with the adversary's fan-outs: a
+// chain of k-ary nodes (each full node's last child is the next full
+// node), with the remainder node at the end.
+func AdversaryTree(n, k int64) *Tree {
+	root := &Tree{}
+	cur := root
+	remaining := n - 1
+	for remaining > 0 {
+		take := k
+		if remaining < k {
+			take = remaining
+		}
+		for i := int64(0); i < take; i++ {
+			cur.Children = append(cur.Children, &Tree{})
+		}
+		remaining -= take
+		cur = cur.Children[len(cur.Children)-1]
+	}
+	return root
+}
+
+// Binomial returns binom(n, k) as a big integer.
+func Binomial(n, k int64) *big.Int {
+	if k < 0 || k > n {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(n, k)
+}
+
+// MinIOs computes the exact Lemma 4.3 lower bound on I/Os for producing
+// `outcomes` distinguishable results: the smallest T with
+//
+//	(B!)^(N/B) · binom(M·B, B)^T  >=  outcomes,
+//
+// where N is the element count, B elements fit in a block and M blocks of
+// memory are available (so M·B elements fit in memory). This is the paper's
+// counting argument evaluated without any asymptotic simplification.
+func MinIOs(outcomes *big.Int, n, b, m int64) int64 {
+	if b < 1 {
+		b = 1
+	}
+	// base = (B!)^(N/B): the free permutations within blocks on first read.
+	base := new(big.Int).Exp(Factorial(b), big.NewInt((n+b-1)/b), nil)
+	if base.Cmp(outcomes) >= 0 {
+		return 0
+	}
+	perIO := Binomial(m*b, b)
+	if perIO.Cmp(big.NewInt(1)) <= 0 {
+		return math.MaxInt64
+	}
+	// T = ceil( log(outcomes/base) / log(perIO) ), computed with bit
+	// lengths refined by multiplication (outcomes can have millions of
+	// bits, so work with floats over logs).
+	logNeeded := logBig(outcomes) - logBig(base)
+	logPer := logBig(perIO)
+	t := int64(math.Ceil(logNeeded / logPer))
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
+// logBig returns the natural log of a positive big integer.
+func logBig(x *big.Int) float64 {
+	bits := x.BitLen()
+	if bits <= 53 {
+		f, _ := new(big.Float).SetInt(x).Float64()
+		return math.Log(f)
+	}
+	// x = mant * 2^(bits-53) with mant in [2^52, 2^53).
+	mant := new(big.Int).Rsh(x, uint(bits-53))
+	f, _ := new(big.Float).SetInt(mant).Float64()
+	return math.Log(f) + float64(bits-53)*math.Ln2
+}
+
+// AsymptoticLowerBound evaluates Theorem 4.4's closed form with unit
+// constants: max{n/B, (n/B)·log_m(k/B)} block I/Os.
+func AsymptoticLowerBound(n, b, m, k int64) float64 {
+	blocks := float64(n) / float64(b)
+	if k <= b || m <= 1 {
+		return blocks
+	}
+	logTerm := math.Log(float64(k)/float64(b)) / math.Log(float64(m))
+	return math.Max(blocks, blocks*logTerm)
+}
+
+// FlatFileLowerBound evaluates the Aggarwal-Vitter flat-file bound with
+// unit constants: (n/B)·log_m(n/B).
+func FlatFileLowerBound(n, b, m int64) float64 {
+	blocks := float64(n) / float64(b)
+	if m <= 1 || blocks <= 1 {
+		return blocks
+	}
+	return math.Max(blocks, blocks*math.Log(blocks)/math.Log(float64(m)))
+}
+
+// EnumerateTrees calls fn with every distinct ordered-tree shape of n
+// nodes whose fan-outs never exceed k. It is the exhaustive-search engine
+// behind the Lemma 4.1 test. The number of shapes is Catalan-like, so keep
+// n small (n <= 10 is instant).
+func EnumerateTrees(n, k int64, fn func(*Tree)) {
+	forests(n-1, k, func(children []*Tree) {
+		fn(&Tree{Children: children})
+	})
+}
+
+// forests enumerates ordered forests with total node count n and fan-outs
+// bounded by k, with at most k top-level trees.
+func forests(n, k int64, fn func([]*Tree)) {
+	if n == 0 {
+		fn(nil)
+		return
+	}
+	// Choose the size s of the first tree (1..n) and recurse; the number
+	// of top-level trees is bounded by k.
+	var build func(remaining, slots int64, acc []*Tree)
+	build = func(remaining, slots int64, acc []*Tree) {
+		if remaining == 0 {
+			fn(acc)
+			return
+		}
+		if slots == 0 {
+			return
+		}
+		for s := int64(1); s <= remaining; s++ {
+			// A tree of size s = root + forest of s-1 nodes. Copy the
+			// accumulator: append would alias backing arrays across
+			// enumeration branches.
+			forests(s-1, k, func(sub []*Tree) {
+				next := make([]*Tree, len(acc)+1)
+				copy(next, acc)
+				next[len(acc)] = &Tree{Children: sub}
+				build(remaining-s, slots-1, next)
+			})
+		}
+	}
+	build(n, k, nil)
+}

@@ -1,0 +1,209 @@
+package theory
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestFactorial(t *testing.T) {
+	want := []int64{1, 1, 2, 6, 24, 120, 720}
+	for n, w := range want {
+		if got := Factorial(int64(n)); got.Int64() != w {
+			t.Errorf("%d! = %v, want %d", n, got, w)
+		}
+	}
+}
+
+func TestCountOutcomesByHand(t *testing.T) {
+	// <r><a/><b><c/><d/><e/></b></a>... : root fan-out 2, b fan-out 3:
+	// outcomes = 2!·3! = 12.
+	tree := &Tree{Children: []*Tree{
+		{},
+		{Children: []*Tree{{}, {}, {}}},
+	}}
+	if got := tree.CountOutcomes(); got.Int64() != 12 {
+		t.Errorf("outcomes = %v, want 12", got)
+	}
+	if tree.Size() != 6 || tree.MaxFanout() != 3 {
+		t.Errorf("size %d k %d", tree.Size(), tree.MaxFanout())
+	}
+	// A chain has exactly one outcome.
+	chain := &Tree{Children: []*Tree{{Children: []*Tree{{}}}}}
+	if got := chain.CountOutcomes(); got.Int64() != 1 {
+		t.Errorf("chain outcomes = %v", got)
+	}
+}
+
+// TestLemma42 checks that the adversary tree attains Lemma 4.2's closed
+// form exactly.
+func TestLemma42(t *testing.T) {
+	for n := int64(1); n <= 40; n++ {
+		for k := int64(1); k <= 7; k++ {
+			tree := AdversaryTree(n, k)
+			if tree.Size() != n {
+				t.Fatalf("n=%d k=%d: adversary has %d nodes", n, k, tree.Size())
+			}
+			if tree.MaxFanout() > k {
+				t.Fatalf("n=%d k=%d: adversary fan-out %d", n, k, tree.MaxFanout())
+			}
+			got := tree.CountOutcomes()
+			want := MaxOutcomes(n, k)
+			if got.Cmp(want) != 0 {
+				t.Errorf("n=%d k=%d: adversary outcomes %v, closed form %v", n, k, got, want)
+			}
+		}
+	}
+}
+
+// TestLemma41Exhaustive verifies Lemma 4.1 by brute force: over ALL
+// ordered trees with n nodes and fan-outs <= k, none beats the closed-form
+// maximum, and the maximum is attained.
+func TestLemma41Exhaustive(t *testing.T) {
+	for n := int64(2); n <= 9; n++ {
+		for k := int64(1); k <= 4; k++ {
+			want := MaxOutcomes(n, k)
+			best := big.NewInt(0)
+			attained := false
+			count := 0
+			EnumerateTrees(n, k, func(tree *Tree) {
+				count++
+				if tree.Size() != n {
+					t.Fatalf("enumerated tree has %d nodes, want %d", tree.Size(), n)
+				}
+				if tree.MaxFanout() > k {
+					t.Fatalf("enumerated tree exceeds fan-out %d", k)
+				}
+				out := tree.CountOutcomes()
+				if out.Cmp(want) > 0 {
+					t.Fatalf("n=%d k=%d: tree with %v outcomes beats closed form %v", n, k, out, want)
+				}
+				if out.Cmp(best) > 0 {
+					best.Set(out)
+				}
+				if out.Cmp(want) == 0 {
+					attained = true
+				}
+			})
+			if count == 0 {
+				t.Fatalf("n=%d k=%d: enumeration empty", n, k)
+			}
+			if !attained {
+				t.Errorf("n=%d k=%d: closed form %v never attained (best %v over %d trees)",
+					n, k, want, best, count)
+			}
+		}
+	}
+}
+
+// TestLemma41ShapeCharacterization: among exhaustively enumerated trees,
+// every maximizer has at most one element whose fan-out is neither 0 nor k
+// (the lemma's characterization).
+func TestLemma41ShapeCharacterization(t *testing.T) {
+	n, k := int64(9), int64(3)
+	want := MaxOutcomes(n, k)
+	EnumerateTrees(n, k, func(tree *Tree) {
+		if tree.CountOutcomes().Cmp(want) != 0 {
+			return
+		}
+		odd := 0
+		var walk func(*Tree)
+		walk = func(tr *Tree) {
+			f := int64(len(tr.Children))
+			if f != 0 && f != k {
+				odd++
+			}
+			for _, c := range tr.Children {
+				walk(c)
+			}
+		}
+		walk(tree)
+		if odd > 1 {
+			t.Errorf("maximizer with %d odd fan-outs found", odd)
+		}
+	})
+}
+
+// TestXMLEasierThanFlat: the counting bound itself shows XML sorting needs
+// fewer I/Os than flat-file sorting whenever k << N — the paper's core
+// claim, checked through Lemma 4.3's exact arithmetic.
+func TestXMLEasierThanFlat(t *testing.T) {
+	const (
+		n = 100000
+		b = 100 // elements per block
+		m = 16  // memory blocks
+		k = 50
+	)
+	flatOutcomes := Factorial(n)
+	xmlOutcomes := MaxOutcomes(n, k)
+	if xmlOutcomes.Cmp(flatOutcomes) >= 0 {
+		t.Fatal("XML outcomes should be fewer than N!")
+	}
+	flatT := MinIOs(flatOutcomes, n, b, m)
+	xmlT := MinIOs(xmlOutcomes, n, b, m)
+	if xmlT >= flatT {
+		t.Errorf("XML bound %d not below flat bound %d", xmlT, flatT)
+	}
+	// Both are consistent with the asymptotic forms (within small
+	// constants — the exact count is at most a constant factor above).
+	asymXML := AsymptoticLowerBound(n, b, m, k)
+	asymFlat := FlatFileLowerBound(n, b, m)
+	if asymXML > asymFlat {
+		t.Errorf("asymptotic XML bound %.0f above flat %.0f", asymXML, asymFlat)
+	}
+	if float64(xmlT) > 10*asymXML+float64(n)/float64(b) {
+		t.Errorf("exact bound %d far above asymptotic %f", xmlT, asymXML)
+	}
+}
+
+// TestMinIOsProperties: the exact counting bound is monotone in the
+// outcome count, zero when a single scan suffices, and grows as memory
+// shrinks.
+func TestMinIOsProperties(t *testing.T) {
+	if got := MinIOs(big.NewInt(1), 1000, 10, 8); got != 0 {
+		t.Errorf("one outcome needs %d IOs, want 0", got)
+	}
+	small := MinIOs(MaxOutcomes(10000, 10), 10000, 10, 8)
+	large := MinIOs(MaxOutcomes(10000, 1000), 10000, 10, 8)
+	if small >= large {
+		t.Errorf("more outcomes should need more IOs: %d vs %d", small, large)
+	}
+	tight := MinIOs(Factorial(10000), 10000, 10, 4)
+	roomy := MinIOs(Factorial(10000), 10000, 10, 64)
+	if roomy >= tight {
+		t.Errorf("more memory should need fewer IOs: %d vs %d", roomy, tight)
+	}
+}
+
+func TestLogBig(t *testing.T) {
+	f := func(x uint32, shift uint8) bool {
+		if x == 0 {
+			return true
+		}
+		v := new(big.Int).Lsh(big.NewInt(int64(x)), uint(shift%200))
+		want := math.Log(float64(x)) + float64(shift%200)*math.Ln2
+		got := logBig(v)
+		return math.Abs(got-want) < 1e-9*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdversaryFanouts(t *testing.T) {
+	fans := AdversaryFanouts(11, 3)
+	// N-1 = 10 = 3+3+3+1: three full nodes and one with remainder 1.
+	want := []int64{3, 3, 3, 1}
+	if len(fans) != len(want) {
+		t.Fatalf("fans = %v", fans)
+	}
+	for i := range want {
+		if fans[i] != want[i] {
+			t.Errorf("fans = %v, want %v", fans, want)
+		}
+	}
+	if AdversaryFanouts(1, 3) != nil {
+		t.Error("single node has no fan-outs")
+	}
+}

@@ -1,0 +1,221 @@
+package xmltok
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary token codec.
+//
+// NEXSORT never stores textual XML in its working structures: tokens are
+// spooled through the data stack and the sorted runs in a compact,
+// self-delimiting binary form. The encoding is a tag byte — the Kind in the
+// low bits, plus a has-key flag bit — followed by uvarint-prefixed strings:
+//
+//	start:  kind name nAttrs (attrName attrValue)* [key]
+//	end:    kind name [key]
+//	text:   kind text
+//	runptr: kind runID(uvarint) name [key]
+//
+// Each string is len(uvarint) bytes; [key] is present when the flag bit is
+// set. The codec is also where end-tag elimination (Section 3.2, "XML
+// compaction techniques") plugs in: the compact package encodes
+// level-stamped start tags with this codec and simply never emits end tags.
+
+// flagHasKey marks a token carrying a computed ordering key.
+const flagHasKey = 0x80
+
+// flagHasLevel marks a token carrying a nesting level (level-stamped
+// streams, the compact package's end-tag elimination).
+const flagHasLevel = 0x40
+
+// kindMask strips the flag bits off the kind byte.
+const kindMask = 0x3f
+
+// AppendToken appends the binary encoding of t to dst and returns the
+// extended slice.
+func AppendToken(dst []byte, t Token) []byte {
+	kb := byte(t.Kind)
+	if t.HasKey {
+		kb |= flagHasKey
+	}
+	if t.Level > 0 {
+		kb |= flagHasLevel
+	}
+	dst = append(dst, kb)
+	switch t.Kind {
+	case KindStart:
+		dst = appendString(dst, t.Name)
+		dst = binary.AppendUvarint(dst, uint64(len(t.Attrs)))
+		for _, a := range t.Attrs {
+			dst = appendString(dst, a.Name)
+			dst = appendString(dst, a.Value)
+		}
+	case KindEnd:
+		dst = appendString(dst, t.Name)
+	case KindText:
+		dst = appendString(dst, t.Text)
+	case KindRunPtr:
+		dst = binary.AppendUvarint(dst, uint64(t.Run))
+		dst = appendString(dst, t.Name)
+	default:
+		panic(fmt.Sprintf("xmltok: encoding unknown kind %d", t.Kind))
+	}
+	if t.HasKey {
+		dst = appendString(dst, t.Key)
+	}
+	if t.Level > 0 {
+		dst = binary.AppendUvarint(dst, uint64(t.Level))
+	}
+	return dst
+}
+
+// EncodedSize returns the number of bytes AppendToken would add for t.
+func EncodedSize(t Token) int {
+	n := 1
+	switch t.Kind {
+	case KindStart:
+		n += stringSize(t.Name) + uvarintSize(uint64(len(t.Attrs)))
+		for _, a := range t.Attrs {
+			n += stringSize(a.Name) + stringSize(a.Value)
+		}
+	case KindEnd:
+		n += stringSize(t.Name)
+	case KindText:
+		n += stringSize(t.Text)
+	case KindRunPtr:
+		n += uvarintSize(uint64(t.Run)) + stringSize(t.Name)
+	}
+	if t.HasKey {
+		n += stringSize(t.Key)
+	}
+	if t.Level > 0 {
+		n += uvarintSize(uint64(t.Level))
+	}
+	return n
+}
+
+// ReadToken decodes one token from r. It returns io.EOF cleanly when the
+// stream is exhausted at a token boundary, and io.ErrUnexpectedEOF if the
+// stream ends mid-token.
+func ReadToken(r io.ByteReader) (Token, error) {
+	kb, err := r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			return Token{}, io.EOF
+		}
+		return Token{}, err
+	}
+	t := Token{Kind: Kind(kb & kindMask)}
+	switch t.Kind {
+	case KindStart:
+		if t.Name, err = readString(r); err != nil {
+			return Token{}, mid(err)
+		}
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return Token{}, mid(err)
+		}
+		if n > maxStringLen {
+			return Token{}, fmt.Errorf("xmltok: corrupt stream: %d attributes", n)
+		}
+		if n > 0 {
+			t.Attrs = make([]Attr, n)
+			for i := range t.Attrs {
+				if t.Attrs[i].Name, err = readString(r); err != nil {
+					return Token{}, mid(err)
+				}
+				if t.Attrs[i].Value, err = readString(r); err != nil {
+					return Token{}, mid(err)
+				}
+			}
+		}
+	case KindEnd:
+		if t.Name, err = readString(r); err != nil {
+			return Token{}, mid(err)
+		}
+	case KindText:
+		if t.Text, err = readString(r); err != nil {
+			return Token{}, mid(err)
+		}
+	case KindRunPtr:
+		run, err := binary.ReadUvarint(r)
+		if err != nil {
+			return Token{}, mid(err)
+		}
+		t.Run = int64(run)
+		if t.Name, err = readString(r); err != nil {
+			return Token{}, mid(err)
+		}
+	default:
+		return Token{}, fmt.Errorf("xmltok: unknown token kind byte 0x%02x", kb)
+	}
+	if kb&flagHasKey != 0 {
+		t.HasKey = true
+		if t.Key, err = readString(r); err != nil {
+			return Token{}, mid(err)
+		}
+	}
+	if kb&flagHasLevel != 0 {
+		level, err := binary.ReadUvarint(r)
+		if err != nil {
+			return Token{}, mid(err)
+		}
+		if level > maxStringLen {
+			return Token{}, fmt.Errorf("xmltok: corrupt stream: level %d", level)
+		}
+		t.Level = int(level)
+	}
+	return t, nil
+}
+
+// mid converts an EOF inside a token into io.ErrUnexpectedEOF.
+func mid(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func stringSize(s string) int { return uvarintSize(uint64(len(s))) + len(s) }
+
+func uvarintSize(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// maxStringLen bounds decoded string lengths so that corrupt or hostile
+// input cannot trigger enormous allocations.
+const maxStringLen = 1 << 26 // 64 MiB
+
+func readString(r io.ByteReader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n == 0 {
+		return "", nil
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("xmltok: corrupt stream: string length %d", n)
+	}
+	buf := make([]byte, n)
+	for i := range buf {
+		b, err := r.ReadByte()
+		if err != nil {
+			return "", err
+		}
+		buf[i] = b
+	}
+	return string(buf), nil
+}

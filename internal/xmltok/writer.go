@@ -1,0 +1,120 @@
+package xmltok
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Writer serializes a token stream back into a textual XML document. It
+// tracks nesting so that optional indentation is correct, and escapes text
+// and attribute values so that Parse(Write(tokens)) round-trips.
+type Writer struct {
+	w      io.Writer
+	indent string // per-level indentation; empty means compact output
+	depth  int
+	// lastWasStart tracks whether the previous token opened an element,
+	// so indented output can collapse <a>text</a> onto one line.
+	lastKind  Kind
+	wroteAny  bool
+	textInRow bool
+	err       error
+}
+
+// NewWriter writes compact XML (no added whitespace) to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w, lastKind: KindEnd} }
+
+// NewIndentWriter writes XML indented with the given unit string per level.
+func NewIndentWriter(w io.Writer, indent string) *Writer {
+	return &Writer{w: w, indent: indent, lastKind: KindEnd}
+}
+
+func (w *Writer) print(s string) {
+	if w.err != nil {
+		return
+	}
+	_, w.err = io.WriteString(w.w, s)
+}
+
+func (w *Writer) newlineIndent(depth int) {
+	if w.indent == "" {
+		return
+	}
+	if w.wroteAny {
+		w.print("\n")
+	}
+	w.print(strings.Repeat(w.indent, depth))
+}
+
+// WriteToken appends one token to the document. Run-pointer tokens are
+// rejected — they are internal to the binary codec and must be resolved
+// before serialization.
+func (w *Writer) WriteToken(t Token) error {
+	if w.err != nil {
+		return w.err
+	}
+	switch t.Kind {
+	case KindStart:
+		w.newlineIndent(w.depth)
+		w.print("<")
+		w.print(t.Name)
+		for _, a := range t.Attrs {
+			w.print(" ")
+			w.print(a.Name)
+			w.print(`="`)
+			w.print(escapeAttr(a.Value))
+			w.print(`"`)
+		}
+		w.print(">")
+		w.depth++
+	case KindEnd:
+		w.depth--
+		if w.depth < 0 {
+			return fmt.Errorf("xmltok: end tag </%s> with no open element", t.Name)
+		}
+		// Keep </a> on the same line when the element contained only
+		// text (or nothing).
+		if w.lastKind == KindStart || w.textInRow {
+			// inline close
+		} else {
+			w.newlineIndent(w.depth)
+		}
+		w.print("</")
+		w.print(t.Name)
+		w.print(">")
+	case KindText:
+		w.print(escapeText(t.Text))
+	default:
+		return fmt.Errorf("xmltok: cannot serialize %v token", t.Kind)
+	}
+	w.textInRow = t.Kind == KindText
+	w.lastKind = t.Kind
+	w.wroteAny = true
+	return w.err
+}
+
+// Depth returns the number of currently open elements.
+func (w *Writer) Depth() int { return w.depth }
+
+// Close verifies the document is balanced and flushes the final newline in
+// indented mode. It does not close the underlying writer.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.depth != 0 {
+		return fmt.Errorf("xmltok: document closed with %d open elements", w.depth)
+	}
+	if w.indent != "" && w.wroteAny {
+		w.print("\n")
+	}
+	return w.err
+}
+
+var (
+	textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	attrEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", `"`, "&quot;")
+)
+
+func escapeText(s string) string { return textEscaper.Replace(s) }
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }

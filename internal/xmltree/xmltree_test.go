@@ -1,0 +1,385 @@
+package xmltree
+
+import (
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nexsort/internal/keys"
+	"nexsort/internal/xmltok"
+)
+
+const companyD1 = `<company>
+  <region name="NE"><branch name="Atlanta"><employee ID="454"/></branch></region>
+  <region name="AC">
+    <branch name="Durham">
+      <employee ID="454"/>
+      <employee ID="323"><name>Smith</name><phone>5552345</phone></employee>
+    </branch>
+    <branch name="Atlanta"/>
+  </region>
+</company>`
+
+func mustParse(t *testing.T, doc string) *Node {
+	t.Helper()
+	n, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestParseAndStats(t *testing.T) {
+	n := mustParse(t, companyD1)
+	if n.Name != "company" {
+		t.Errorf("root = %q", n.Name)
+	}
+	// company + 2 regions + 3 branches + 3 employees + name + phone = 11.
+	if got := n.CountElements(); got != 11 {
+		t.Errorf("CountElements = %d, want 11", got)
+	}
+	if got := n.Height(); got != 5 {
+		t.Errorf("Height = %d, want 5", got)
+	}
+	// Every element here has at most 2 children (text children included).
+	if got := n.MaxFanout(); got != 2 {
+		t.Errorf("MaxFanout = %d, want 2", got)
+	}
+}
+
+func TestSeqAssignment(t *testing.T) {
+	n := mustParse(t, `<r><a/><b/>text<c/></r>`)
+	wantSeq := []int64{0, 1, 2, 3}
+	for i, ch := range n.Children {
+		if ch.Seq != wantSeq[i] {
+			t.Errorf("child %d Seq = %d, want %d", i, ch.Seq, wantSeq[i])
+		}
+	}
+}
+
+func TestComputeKeysAttr(t *testing.T) {
+	n := mustParse(t, companyD1)
+	c := &keys.Criterion{Rules: []keys.Rule{
+		{Tag: "region", Source: keys.ByAttr("name")},
+		{Tag: "branch", Source: keys.ByAttr("name")},
+		{Tag: "employee", Source: keys.ByAttr("ID")},
+	}}
+	n.ComputeKeys(c)
+	if n.Children[0].Key != "NE" || n.Children[1].Key != "AC" {
+		t.Errorf("region keys = %q, %q", n.Children[0].Key, n.Children[1].Key)
+	}
+	if n.Key != "" {
+		t.Errorf("company (no rule) key = %q", n.Key)
+	}
+	emp := n.Children[1].Children[0].Children[1]
+	if emp.Key != "323" {
+		t.Errorf("employee key = %q", emp.Key)
+	}
+	// name/phone have no rule: empty keys.
+	if emp.Children[0].Key != "" {
+		t.Errorf("name key = %q", emp.Children[0].Key)
+	}
+}
+
+func TestComputeKeysPath(t *testing.T) {
+	doc := `<staff>
+	  <emp><info><name><last>Zeta</last></name></info></emp>
+	  <emp><info><name><last><deco/>Alpha</last></name></info></emp>
+	  <emp><info><skip><last>Wrong</last></skip></info><info><name><last>Mid</last></name></info></emp>
+	</staff>`
+	n := mustParse(t, doc)
+	c := &keys.Criterion{Rules: []keys.Rule{{Tag: "emp", Source: keys.ByPath("info", "name", "last")}}}
+	n.ComputeKeys(c)
+	got := []string{n.Children[0].Key, n.Children[1].Key, n.Children[2].Key}
+	want := []string{"Zeta", "Alpha", "Mid"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("emp %d key = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSortRecursive(t *testing.T) {
+	n := mustParse(t, companyD1)
+	c := &keys.Criterion{Rules: []keys.Rule{
+		{Tag: "region", Source: keys.ByAttr("name")},
+		{Tag: "branch", Source: keys.ByAttr("name")},
+		{Tag: "employee", Source: keys.ByAttr("ID")},
+	}}
+	n.ComputeKeys(c)
+	if n.IsSorted(0) {
+		t.Fatal("document should not be sorted initially")
+	}
+	n.SortRecursive()
+	if !n.IsSorted(0) {
+		t.Fatal("document should be sorted after SortRecursive")
+	}
+	want := `<company><region name="AC"><branch name="Atlanta"></branch><branch name="Durham"><employee ID="323"><name>Smith</name><phone>5552345</phone></employee><employee ID="454"></employee></branch></region><region name="NE"><branch name="Atlanta"><employee ID="454"></employee></branch></region></company>`
+	if got := n.XMLString(); got != want {
+		t.Errorf("sorted document:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestSortStabilityForEqualKeys(t *testing.T) {
+	// Text children (empty key) must keep document order and sort before
+	// keyed elements; equal-keyed elements keep document order.
+	n := mustParse(t, `<r><e k="b" n="1"/>hello<e k="a" n="2"/><e k="a" n="3"/>world</r>`)
+	c := &keys.Criterion{Rules: []keys.Rule{{Tag: "e", Source: keys.ByAttr("k")}}}
+	n.ComputeKeys(c)
+	n.SortRecursive()
+	want := `<r>helloworld<e k="a" n="2"></e><e k="a" n="3"></e><e k="b" n="1"></e></r>`
+	if got := n.XMLString(); got != want {
+		t.Errorf("got %s\nwant %s", got, want)
+	}
+}
+
+func TestSortToDepth(t *testing.T) {
+	// Level 1: r. Level 2: g. Level 3: i. Level 4: leaf.
+	doc := `<r><g name="b"><i name="z"><leaf name="2"/><leaf name="1"/></i><i name="a"/></g><g name="a"/></r>`
+	c := keys.ByAttrOrTag("name")
+	// Depth limit 2: child lists of elements at levels 1..2 are sorted
+	// (the g-list under r, the i-lists under each g); subtrees rooted
+	// below level 2 — the i elements at level 3 — stay internally
+	// unsorted, so the leaf list keeps document order.
+	n := mustParse(t, doc)
+	n.ComputeKeys(c)
+	n.SortToDepth(2)
+	want := `<r><g name="a"></g><g name="b"><i name="a"></i><i name="z"><leaf name="2"></leaf><leaf name="1"></leaf></i></g></r>`
+	if got := n.XMLString(); got != want {
+		t.Errorf("depth-2 sort:\n got %s\nwant %s", got, want)
+	}
+	if !n.IsSorted(2) {
+		t.Error("IsSorted(2) should hold")
+	}
+	if n.IsSorted(0) {
+		t.Error("IsSorted(0) should not hold: the leaf list is unsorted")
+	}
+	// Depth 0 (unlimited) sorts everything.
+	n2 := mustParse(t, doc)
+	n2.ComputeKeys(c)
+	n2.SortToDepth(0)
+	if !n2.IsSorted(0) {
+		t.Error("unlimited sort should fully sort")
+	}
+}
+
+func TestEmitTokensRoundTrip(t *testing.T) {
+	n := mustParse(t, companyD1)
+	var toks []xmltok.Token
+	if err := n.EmitTokens(func(tok xmltok.Token) error {
+		toks = append(toks, tok)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromTokens(&sliceSource{toks: toks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(n, back) {
+		t.Error("EmitTokens/FromTokens round trip mismatch")
+	}
+}
+
+type sliceSource struct {
+	toks []xmltok.Token
+	i    int
+}
+
+func (s *sliceSource) Next() (xmltok.Token, error) {
+	if s.i >= len(s.toks) {
+		return xmltok.Token{}, io.EOF
+	}
+	t := s.toks[s.i]
+	s.i++
+	return t, nil
+}
+
+func TestRunRefNodes(t *testing.T) {
+	toks := []xmltok.Token{
+		{Kind: xmltok.KindStart, Name: "parent"},
+		{Kind: xmltok.KindRunPtr, Run: 7, Name: "collapsed", Key: "kk", HasKey: true},
+		{Kind: xmltok.KindStart, Name: "live"},
+		{Kind: xmltok.KindEnd, Name: "live", Key: "aa", HasKey: true},
+		{Kind: xmltok.KindEnd, Name: "parent", Key: "", HasKey: true},
+	}
+	n, err := FromTokens(&sliceSource{toks: toks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Children[0].Kind != RunRef || n.Children[0].Run != 7 || n.Children[0].Key != "kk" {
+		t.Errorf("run ref child = %+v", n.Children[0])
+	}
+	if n.Children[1].Key != "aa" {
+		t.Errorf("end-tag key not installed: %+v", n.Children[1])
+	}
+	n.SortRecursive()
+	// "aa" < "kk": the live child must now precede the run ref.
+	if n.Children[0].Kind != Elem {
+		t.Error("sort did not order run ref by its key")
+	}
+	// RunRef trees cannot serialize textually.
+	var sb strings.Builder
+	w := xmltok.NewWriter(&sb)
+	if err := n.WriteXML(w); err == nil {
+		t.Error("WriteXML with RunRef should fail")
+	}
+}
+
+func TestFromTokensErrors(t *testing.T) {
+	if _, err := FromTokens(&sliceSource{}); err != io.ErrUnexpectedEOF {
+		t.Errorf("empty source: %v", err)
+	}
+	_, err := FromTokens(&sliceSource{toks: []xmltok.Token{
+		{Kind: xmltok.KindStart, Name: "a"},
+		{Kind: xmltok.KindEnd, Name: "b"},
+	}})
+	if err == nil {
+		t.Error("mismatched end should fail")
+	}
+	_, err = FromTokens(&sliceSource{toks: []xmltok.Token{
+		{Kind: xmltok.KindStart, Name: "a"},
+	}})
+	if err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated stream: %v", err)
+	}
+	_, err = FromTokens(&sliceSource{toks: []xmltok.Token{{Kind: xmltok.KindEnd, Name: "a"}}})
+	if err == nil {
+		t.Error("stream starting with end tag should fail")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	n := mustParse(t, companyD1)
+	c := n.Clone()
+	if !Equal(n, c) {
+		t.Fatal("clone not equal")
+	}
+	c.Children[0].Attrs[0].Value = "changed"
+	c.Children[0].Children = nil
+	if Equal(n, c) {
+		t.Error("mutating the clone affected equality")
+	}
+	if n.Children[0].Attrs[0].Value != "NE" {
+		t.Error("original mutated through clone")
+	}
+}
+
+func TestEqualEdgeCases(t *testing.T) {
+	a := mustParse(t, `<a x="1"/>`)
+	b := mustParse(t, `<a x="2"/>`)
+	if Equal(a, b) {
+		t.Error("different attr values should differ")
+	}
+	cDoc := mustParse(t, `<a/>`)
+	if Equal(a, cDoc) {
+		t.Error("different attr counts should differ")
+	}
+	if !Equal(nil, nil) || Equal(a, nil) {
+		t.Error("nil handling")
+	}
+}
+
+// randomTree builds a random document tree with attribute keys.
+func randomTree(rng *rand.Rand, maxElems int) *Node {
+	var count int
+	var build func(depth int) *Node
+	build = func(depth int) *Node {
+		count++
+		n := &Node{Kind: Elem, Name: string(rune('a' + rng.Intn(4)))}
+		if rng.Intn(3) > 0 {
+			n.Attrs = []xmltok.Attr{{Name: "k", Value: string(rune('0' + rng.Intn(10)))}}
+		}
+		kids := rng.Intn(4)
+		for i := 0; i < kids && count < maxElems && depth < 8; i++ {
+			if rng.Intn(4) == 0 {
+				appendChild(n, &Node{Kind: Text, Text: "t" + string(rune('0'+rng.Intn(10)))})
+			} else {
+				appendChild(n, build(depth+1))
+			}
+		}
+		return n
+	}
+	return build(0)
+}
+
+// Property: SortRecursive is idempotent, preserves the node multiset, and
+// produces a tree satisfying IsSorted.
+func TestSortPropertiesQuick(t *testing.T) {
+	c := keys.ByAttrOrTag("k")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomTree(rng, 60)
+		n.ComputeKeys(c)
+		before := n.CountNodes()
+		beforeElems := n.CountElements()
+		n.SortRecursive()
+		if !n.IsSorted(0) {
+			return false
+		}
+		if n.CountNodes() != before || n.CountElements() != beforeElems {
+			return false
+		}
+		snapshot := n.Clone()
+		n.SortRecursive()
+		return Equal(n, snapshot)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sorting preserves every parent-child relationship — each node
+// keeps exactly the same child multiset, just reordered.
+func TestSortPreservesParentChildQuick(t *testing.T) {
+	c := keys.ByAttrOrTag("k")
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := randomTree(rng, 40)
+		n.ComputeKeys(c)
+		beforeSig := childSignatures(n, map[string]int{})
+		n.SortRecursive()
+		afterSig := childSignatures(n, map[string]int{})
+		if len(beforeSig) != len(afterSig) {
+			return false
+		}
+		for k, v := range beforeSig {
+			if afterSig[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// childSignatures counts (parent shallow identity, child shallow identity)
+// pairs. Sorting reorders children in place but never moves a node to a
+// different parent, so this multiset is invariant; the shallow identity
+// (kind, name, attrs, text) is itself unchanged by recursive sorting.
+func childSignatures(n *Node, acc map[string]int) map[string]int {
+	if n.Kind == Elem {
+		for _, ch := range n.Children {
+			acc[shallowSig(n)+"|"+shallowSig(ch)]++
+		}
+		for _, ch := range n.Children {
+			childSignatures(ch, acc)
+		}
+	}
+	return acc
+}
+
+func shallowSig(n *Node) string {
+	var sb strings.Builder
+	sb.WriteByte(byte('0' + n.Kind))
+	sb.WriteString(n.Name)
+	for _, a := range n.Attrs {
+		sb.WriteString("," + a.Name + "=" + a.Value)
+	}
+	sb.WriteString("#" + n.Text)
+	return sb.String()
+}

@@ -1,0 +1,119 @@
+package xstack
+
+import (
+	"fmt"
+
+	"nexsort/internal/em"
+)
+
+// RecordStack is an external-memory stack of fixed-size records: the shape
+// of NEXSORT's path stack (data-stack offsets, optionally augmented with
+// ordering-key context) and output location stack ((run, offset) pairs).
+// Records are block-aligned — each block holds floor(blockSize/recordSize)
+// records — so a record is always read or written with exactly one block
+// touch, matching the layout assumed by the paper's paging lemmas.
+type RecordStack struct {
+	p        *pager
+	recSize  int
+	perBlock int
+	n        int64 // records on the stack
+}
+
+// NewRecordStack creates a stack of recSize-byte records on dev charging
+// category cat, with `resident` blocks granted from budget. The paper's
+// analysis assumes two resident blocks for the path stack (Lemma 4.11) and
+// one for the output location stack (Lemma 4.13).
+func NewRecordStack(dev *em.Device, cat em.Category, budget *em.Budget, resident, recSize int) (*RecordStack, error) {
+	if recSize <= 0 || recSize > dev.BlockSize() {
+		return nil, fmt.Errorf("xstack: record size %d outside (0,%d]", recSize, dev.BlockSize())
+	}
+	p, err := newPager(dev, cat, budget, resident)
+	if err != nil {
+		return nil, err
+	}
+	return &RecordStack{p: p, recSize: recSize, perBlock: dev.BlockSize() / recSize}, nil
+}
+
+// Len returns the number of records on the stack.
+func (s *RecordStack) Len() int64 { return s.n }
+
+// block and slot locate record i.
+func (s *RecordStack) locate(i int64) (block int, slotOff int) {
+	return int(i / int64(s.perBlock)), int(i%int64(s.perBlock)) * s.recSize
+}
+
+// Push appends rec, which must be exactly the record size.
+func (s *RecordStack) Push(rec []byte) error {
+	if len(rec) != s.recSize {
+		return fmt.Errorf("xstack: push of %d bytes, record size is %d", len(rec), s.recSize)
+	}
+	b, off := s.locate(s.n)
+	if b > s.p.topBlock() {
+		if err := s.p.grow(); err != nil {
+			return err
+		}
+	}
+	copy(s.p.buf(b)[off:], rec)
+	s.p.markDirty(b)
+	s.n++
+	return nil
+}
+
+// Pop removes the top record into dst (which must be record-sized), paging
+// in at most one block if the record lives below the resident window.
+func (s *RecordStack) Pop(dst []byte) error {
+	if err := s.Peek(dst); err != nil {
+		return err
+	}
+	s.n--
+	if s.n == 0 {
+		s.p.reset()
+		return nil
+	}
+	b, _ := s.locate(s.n - 1)
+	return s.p.shrinkTo(b)
+}
+
+// Peek copies the top record into dst without removing it.
+func (s *RecordStack) Peek(dst []byte) error {
+	if len(dst) != s.recSize {
+		return fmt.Errorf("xstack: peek into %d bytes, record size is %d", len(dst), s.recSize)
+	}
+	if s.n == 0 {
+		return ErrEmpty
+	}
+	b, off := s.locate(s.n - 1)
+	if !s.p.isResident(b) {
+		// No-prefetch page-in: bring the block holding the top record
+		// back into the window before touching it.
+		if err := s.p.shrinkTo(b); err != nil {
+			return err
+		}
+	}
+	copy(dst, s.p.buf(b)[off:off+s.recSize])
+	return nil
+}
+
+// ReplaceTop overwrites the top record in place. It is used by the complex
+// ordering-criteria extension (Section 3.2), which updates pending key
+// expressions on the path stack as the subtree streams by.
+func (s *RecordStack) ReplaceTop(rec []byte) error {
+	if len(rec) != s.recSize {
+		return fmt.Errorf("xstack: replace with %d bytes, record size is %d", len(rec), s.recSize)
+	}
+	if s.n == 0 {
+		return ErrEmpty
+	}
+	b, off := s.locate(s.n - 1)
+	if !s.p.isResident(b) {
+		if err := s.p.shrinkTo(b); err != nil {
+			return err
+		}
+	}
+	copy(s.p.buf(b)[off:], rec)
+	s.p.markDirty(b)
+	return nil
+}
+
+// Close releases the resident-window grant. The stack is unusable after.
+func (s *RecordStack) Close() { s.p.close() }

@@ -1,0 +1,86 @@
+package nexsort
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"nexsort/internal/merge"
+)
+
+// MergeOptions configures a structural merge.
+type MergeOptions = merge.Options
+
+// MergeReport summarizes a structural merge.
+type MergeReport = merge.Report
+
+// Merge combines two *sorted* XML documents in a single pass — the XML
+// sort-merge join of the paper's Example 1.1. Elements at the same
+// hierarchical position with the same tag and the same non-empty ordering
+// key merge (attribute union, child lists merged recursively); everything
+// else copies through in sorted order. Sort both inputs with the same
+// criterion first (see SortAndMerge for the full pipeline).
+func Merge(left, right io.Reader, crit *Criterion, out io.Writer, opts MergeOptions) (*MergeReport, error) {
+	if crit == nil {
+		return nil, fmt.Errorf("nexsort: Merge requires a criterion (it defines element matching)")
+	}
+	return merge.Documents(left, right, crit, out, opts)
+}
+
+// ApplyUpdates applies a sorted batch of updates to a sorted base document
+// (the paper's second application): matched elements take the update's
+// attribute values, unmatched update elements are inserted at their sorted
+// positions, and the result remains sorted.
+func ApplyUpdates(base, updates io.Reader, crit *Criterion, out io.Writer, indent string) (*MergeReport, error) {
+	if crit == nil {
+		return nil, fmt.Errorf("nexsort: ApplyUpdates requires a criterion")
+	}
+	return merge.ApplyUpdates(base, updates, crit, out, indent)
+}
+
+// SortAndMerge runs the complete Example 1.1 pipeline: NEXSORT both input
+// documents by crit into temporary files, then merge them in one pass into
+// out. It returns the two sort results and the merge report.
+func SortAndMerge(left, right io.Reader, crit *Criterion, out io.Writer, cfg Config, opts MergeOptions) (*Result, *Result, *MergeReport, error) {
+	dir, err := os.MkdirTemp(cfg.ScratchDir, "nexsort-merge-")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	sortTo := func(in io.Reader, name string) (*Result, *os.File, error) {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := Sort(in, f, cfg, Options{Criterion: crit})
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, nil, err
+		}
+		rf, err := os.Open(path)
+		return res, rf, err
+	}
+
+	lres, lf, err := sortTo(left, "left.xml")
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("nexsort: sorting left document: %w", err)
+	}
+	defer lf.Close()
+	rres, rf, err := sortTo(right, "right.xml")
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("nexsort: sorting right document: %w", err)
+	}
+	defer rf.Close()
+
+	mrep, err := Merge(lf, rf, crit, out, opts)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return lres, rres, mrep, nil
+}

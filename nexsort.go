@@ -1,0 +1,439 @@
+// Package nexsort is an external-memory XML sorting library: a faithful,
+// production-quality implementation of "NEXSORT: Sorting XML in External
+// Memory" (Silberstein & Yang, ICDE 2004).
+//
+// A fully sorted XML document has the children of every non-leaf element
+// ordered by a user-supplied criterion. Sorting XML this way is
+// fundamentally easier than sorting a flat file — the hierarchy constrains
+// the legal orderings — and NEXSORT exploits that: it detects complete
+// subtrees while scanning the input, sorts each one exactly once into an
+// on-disk run, and stitches the run tree together with a single output
+// traversal. Its I/O cost, O(N/B + (N/B)·log_{M/B}(min{kt,N}/B)), matches
+// the problem's lower bound up to a constant factor and beats external
+// merge sort whenever the document has real hierarchy.
+//
+// # Quick start
+//
+//	crit := &nexsort.Criterion{Rules: []nexsort.Rule{
+//	    {Tag: "employee", Source: nexsort.ByAttr("ID")},
+//	    {Tag: "", Source: nexsort.ByAttr("name")},
+//	}}
+//	result, err := nexsort.SortFile("in.xml", "sorted.xml",
+//	    nexsort.DefaultConfig(), nexsort.Options{Criterion: crit})
+//
+// Sorted documents merge in one pass with Merge — the XML analogue of a
+// sort-merge join (the paper's motivating application) — and sorted batch
+// updates apply with ApplyUpdates.
+//
+// The library also ships the paper's baselines (key-path external merge
+// sort, in-memory recursive sort), its workload generators, and an
+// external-memory substrate with exact per-category I/O accounting, so
+// every figure and table of the paper can be regenerated; see the
+// EXPERIMENTS.md file and cmd/nexbench.
+package nexsort
+
+import (
+	"compress/gzip"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"nexsort/internal/core"
+	"nexsort/internal/em"
+	"nexsort/internal/extsort"
+	"nexsort/internal/keys"
+	"nexsort/internal/xmltok"
+	"nexsort/internal/xmltree"
+)
+
+// Criterion is an ordering specification: rules matched by element tag
+// name, each naming where the sort key comes from.
+type Criterion = keys.Criterion
+
+// Rule binds a key source to the elements it applies to; Tag "" matches
+// every element.
+type Rule = keys.Rule
+
+// Source identifies where an element's sort key comes from.
+type Source = keys.Source
+
+// ByAttr orders elements by the value of the named attribute.
+func ByAttr(name string) Source { return keys.ByAttr(name) }
+
+// ByTag orders elements by their tag name.
+func ByTag() Source { return keys.ByTag() }
+
+// ByText orders elements by their first direct text child.
+func ByText() Source { return keys.ByText() }
+
+// ByPath orders elements by the first direct text of the first descendant
+// reached through the given chain of child tag names, e.g.
+// ByPath("personalInfo", "name", "lastName").
+func ByPath(chain ...string) Source { return keys.ByPath(chain...) }
+
+// ByAttrOrTag orders every element by the named attribute, falling back to
+// document order when the attribute is absent.
+func ByAttrOrTag(attr string) *Criterion { return keys.ByAttrOrTag(attr) }
+
+// IOCount is the read/write pair reported for one I/O category.
+type IOCount = em.IOCount
+
+// Algorithm selects the sorting algorithm.
+type Algorithm int
+
+// Algorithms.
+const (
+	// NEXSORT is the paper's contribution and the default.
+	NEXSORT Algorithm = iota
+	// MergeSort is the competitor: key-path external merge sort.
+	MergeSort
+	// InMemory is the internal-memory recursive sort — simple and fast
+	// when the document fits in RAM, the baseline NEXSORT generalizes.
+	InMemory
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case NEXSORT:
+		return "nexsort"
+	case MergeSort:
+		return "mergesort"
+	case InMemory:
+		return "inmemory"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// Config sets the external-memory environment: the block size B and the
+// main-memory budget M of the standard I/O model.
+type Config struct {
+	// BlockSize is the disk block size in bytes. The paper's testbed uses
+	// 64 KiB. Defaults to DefaultBlockSize when zero.
+	BlockSize int
+	// MemoryBytes is the main memory available to the sort, in bytes
+	// (rounded down to whole blocks). The paper's experiments sweep 3-32
+	// MB. Defaults to DefaultMemoryBytes when zero.
+	MemoryBytes int64
+	// ScratchDir hosts the spill device file. Empty selects the system
+	// temp directory; set InMemory to avoid disk entirely.
+	ScratchDir string
+	// InMemory backs the spill device with memory (tests, small inputs).
+	InMemory bool
+}
+
+// Defaults for Config.
+const (
+	DefaultBlockSize   = 64 << 10
+	DefaultMemoryBytes = 8 << 20
+)
+
+// DefaultConfig returns the paper-like default environment: 64 KiB blocks,
+// 8 MiB of sort memory, scratch in the system temp directory.
+func DefaultConfig() Config { return Config{} }
+
+func (c Config) normalize() (em.Config, error) {
+	bs := c.BlockSize
+	if bs == 0 {
+		bs = DefaultBlockSize
+	}
+	memBytes := c.MemoryBytes
+	if memBytes == 0 {
+		memBytes = DefaultMemoryBytes
+	}
+	blocks := int(memBytes / int64(bs))
+	dir := c.ScratchDir
+	if dir == "" && !c.InMemory {
+		dir = os.TempDir()
+	}
+	cfg := em.Config{BlockSize: bs, MemBlocks: blocks, ScratchDir: dir, InMemory: c.InMemory}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// Options configures a sort.
+type Options struct {
+	// Criterion is the ordering specification; nil preserves document
+	// order (useful only for testing the machinery).
+	Criterion *Criterion
+	// Algorithm selects NEXSORT (default), the merge-sort baseline, or
+	// the in-memory recursive sort.
+	Algorithm Algorithm
+	// Threshold is NEXSORT's sort threshold t in bytes; 0 picks twice the
+	// block size, the paper's experimentally good setting.
+	Threshold int
+	// DepthLimit stops recursive sorting below the given level (root =
+	// level 1); 0 sorts head to toe.
+	DepthLimit int
+	// Compact applies the paper's Section 3.2 compaction (name
+	// dictionary, end-tag elision) to the working structures.
+	Compact bool
+	// Degenerate enables NEXSORT's graceful degeneration into external
+	// merge sort on flat inputs (Section 3.2).
+	Degenerate bool
+	// RecordOrder, when non-empty, stamps each output element with an
+	// attribute of this name holding its original sibling position
+	// (zero-padded): sorting the result by that attribute later restores
+	// the original document — the paper's order-preserving merge recipe.
+	// NEXSORT algorithm only.
+	RecordOrder string
+	// SortChildrenOf switches the MergeSort algorithm to XSort semantics
+	// (Section 2's related work): only the child lists of the named
+	// elements are sorted, nothing recursively. Requires Algorithm ==
+	// MergeSort — XSort "is implemented as standard external merge sort".
+	SortChildrenOf []string
+	// Indent pretty-prints the output with the given unit per level.
+	Indent string
+}
+
+// Result reports a completed sort.
+type Result struct {
+	// Algorithm is the algorithm that ran.
+	Algorithm Algorithm
+	// Elements is N, the number of elements in the input.
+	Elements int64
+	// InputBytes and OutputBytes are document sizes.
+	InputBytes  int64
+	OutputBytes int64
+	// IOs is the per-category breakdown of block transfers.
+	IOs map[string]IOCount
+	// TotalIOs is the sum over IOs — the paper's primary metric.
+	TotalIOs int64
+	// SimulatedSeconds converts TotalIOs through a 2003-era disk cost
+	// model, for comparing curve shapes with the paper's figures.
+	SimulatedSeconds float64
+	// WallSeconds is the measured wall-clock time.
+	WallSeconds float64
+
+	// NEXSORT holds algorithm-specific detail when Algorithm == NEXSORT.
+	NEXSORT *core.Report
+	// MergeSort holds detail when Algorithm == MergeSort.
+	MergeSort *extsort.XMLReport
+}
+
+// SortContext is Sort with cancellation: when ctx is cancelled the sort
+// stops at the next block boundary and returns ctx's error. Scratch state
+// is released; nothing of the partial output should be used.
+func SortContext(ctx context.Context, in io.Reader, out io.Writer, cfg Config, opts Options) (*Result, error) {
+	res, err := Sort(&ctxReader{ctx: ctx, r: in}, &ctxWriter{ctx: ctx, w: out}, cfg, opts)
+	if err != nil {
+		// Prefer the context's error over the wrapped transport error.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
+// ctxReader fails reads once the context is cancelled. The sorters read
+// the input in a tight streaming loop, so cancellation takes effect within
+// one buffered block.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c *ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.r.Read(p)
+}
+
+// ctxWriter fails writes once the context is cancelled, covering the
+// output phase after the input has been fully consumed.
+type ctxWriter struct {
+	ctx context.Context
+	w   io.Writer
+}
+
+func (c *ctxWriter) Write(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.w.Write(p)
+}
+
+// Sort sorts the XML document read from in and writes the sorted document
+// to out.
+func Sort(in io.Reader, out io.Writer, cfg Config, opts Options) (*Result, error) {
+	emCfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	env, err := em.NewEnv(emCfg)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	return sortInEnv(env, in, out, opts)
+}
+
+// sortInEnv runs a sort inside an existing environment; the benchmark
+// harness uses it to keep full control of the accounting.
+func sortInEnv(env *em.Env, in io.Reader, out io.Writer, opts Options) (*Result, error) {
+	start := time.Now()
+	res := &Result{Algorithm: opts.Algorithm}
+	if len(opts.SortChildrenOf) > 0 && opts.Algorithm != MergeSort {
+		return nil, fmt.Errorf("nexsort: SortChildrenOf (XSort semantics) requires Algorithm == MergeSort")
+	}
+	if opts.RecordOrder != "" && opts.Algorithm != NEXSORT {
+		return nil, fmt.Errorf("nexsort: RecordOrder requires Algorithm == NEXSORT")
+	}
+	switch opts.Algorithm {
+	case NEXSORT:
+		rep, err := core.Sort(env, in, out, core.Options{
+			Criterion:   opts.Criterion,
+			Threshold:   opts.Threshold,
+			DepthLimit:  opts.DepthLimit,
+			Compact:     opts.Compact,
+			Degenerate:  opts.Degenerate,
+			RecordOrder: opts.RecordOrder,
+			Indent:      opts.Indent,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.NEXSORT = rep
+		res.Elements = rep.Elements
+		res.InputBytes = rep.InputBytes
+		res.OutputBytes = rep.OutputBytes
+
+	case MergeSort:
+		crit := opts.Criterion
+		if crit == nil {
+			crit = &Criterion{}
+		}
+		rep, err := extsort.SortXML(env, crit, in, out, extsort.XMLOptions{
+			DepthLimit:     opts.DepthLimit,
+			Compact:        opts.Compact,
+			Indent:         opts.Indent,
+			SortChildrenOf: opts.SortChildrenOf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.MergeSort = rep
+		res.Elements = rep.Elements
+		res.InputBytes = rep.InputBytes
+
+	case InMemory:
+		rep, err := sortInMemory(env, in, out, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Elements = rep.elements
+		res.InputBytes = rep.inputBytes
+		res.OutputBytes = rep.outputBytes
+
+	default:
+		return nil, fmt.Errorf("nexsort: unknown algorithm %v", opts.Algorithm)
+	}
+	res.WallSeconds = time.Since(start).Seconds()
+	res.IOs = env.Stats.Snapshot()
+	res.TotalIOs = env.Stats.TotalIOs()
+	res.SimulatedSeconds = em.DefaultCostModel().Seconds(res.TotalIOs, env.Conf.BlockSize)
+	return res, nil
+}
+
+// SortFile is Sort over file paths. Paths ending in ".gz" are read and
+// written gzip-compressed transparently (XML interchange files commonly
+// ship compressed); the I/O accounting measures the uncompressed stream,
+// matching the model's element counts.
+func SortFile(inPath, outPath string, cfg Config, opts Options) (*Result, error) {
+	in, err := os.Open(inPath)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	var reader io.Reader = in
+	if strings.HasSuffix(inPath, ".gz") {
+		gz, err := gzip.NewReader(in)
+		if err != nil {
+			return nil, fmt.Errorf("nexsort: %s: %w", inPath, err)
+		}
+		defer gz.Close()
+		reader = gz
+	}
+
+	out, err := os.Create(outPath)
+	if err != nil {
+		return nil, err
+	}
+	var writer io.Writer = out
+	var gzw *gzip.Writer
+	if strings.HasSuffix(outPath, ".gz") {
+		gzw = gzip.NewWriter(out)
+		writer = gzw
+	}
+
+	res, err := Sort(reader, writer, cfg, opts)
+	if gzw != nil {
+		if closeErr := gzw.Close(); err == nil {
+			err = closeErr
+		}
+	}
+	if closeErr := out.Close(); err == nil {
+		err = closeErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// inMemoryReport carries the in-memory sorter's counters.
+type inMemoryReport struct {
+	elements    int64
+	inputBytes  int64
+	outputBytes int64
+}
+
+// sortInMemory is the internal-memory recursive sort of the paper's
+// Section 1: read everything, sort the tree, write it out. I/O is charged
+// for the streaming read and write; the tree itself is deliberately
+// unbudgeted — the whole point of this baseline is that it assumes the
+// document fits in memory.
+func sortInMemory(env *em.Env, in io.Reader, out io.Writer, opts Options) (*inMemoryReport, error) {
+	cr := em.NewCountingReader(in, env.Conf.BlockSize, env.Stats, em.CatInput)
+	tree, err := xmltree.Parse(cr)
+	if err != nil {
+		return nil, err
+	}
+	cr.Finish()
+	crit := opts.Criterion
+	if crit == nil {
+		crit = &Criterion{}
+	}
+	tree.ComputeKeys(crit)
+	tree.SortToDepth(opts.DepthLimit)
+
+	cw := em.NewCountingWriter(out, env.Conf.BlockSize, env.Stats, em.CatOutput)
+	var xw *xmltok.Writer
+	if opts.Indent != "" {
+		xw = xmltok.NewIndentWriter(cw, opts.Indent)
+	} else {
+		xw = xmltok.NewWriter(cw)
+	}
+	if err := tree.WriteXML(xw); err != nil {
+		return nil, err
+	}
+	if err := xw.Close(); err != nil {
+		return nil, err
+	}
+	if err := cw.Flush(); err != nil {
+		return nil, err
+	}
+	return &inMemoryReport{
+		elements:    int64(tree.CountElements()),
+		inputBytes:  cr.BytesRead(),
+		outputBytes: cw.BytesWritten(),
+	}, nil
+}
