@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: check build test vet race bench
+
+# check is the pre-PR gate: vet, build everything, then the test suite
+# with the race detector in short mode (the soak tests run in full mode).
+check: ; ./scripts/check.sh
+
+build: ; $(GO) build ./...
+
+vet: ; $(GO) vet ./...
+
+test: ; $(GO) test ./...
+
+race: ; $(GO) test -race ./...
+
+bench: ; $(GO) test -bench=. -benchmem ./...

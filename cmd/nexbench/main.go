@@ -20,16 +20,27 @@ import (
 	"time"
 
 	"nexsort/internal/bench"
+	"nexsort/internal/em"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table2|fig5|fig6|fig7|threshold|bounds|ablation|all")
-		scale   = flag.Float64("scale", 1.0, "input size multiplier (1.0 ≈ seconds per experiment)")
-		scratch = flag.String("scratch", "", "scratch directory for workloads and spill (default: memory-backed spill, temp-dir workloads)")
-		seed    = flag.Int64("seed", 1, "workload seed")
+		exp       = flag.String("exp", "all", "experiment: table1|table2|fig5|fig6|fig7|threshold|bounds|ablation|all")
+		scale     = flag.Float64("scale", 1.0, "input size multiplier (1.0 ≈ seconds per experiment)")
+		scratch   = flag.String("scratch", "", "scratch directory for workloads and spill (default: memory-backed spill, temp-dir workloads)")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		verify    = flag.Bool("verify-checksums", false, "checksum every spill block in the experiment environments")
+		retries   = flag.Int("retries", 0, "retry budget for transiently faulted spill transfers (0 disables)")
+		retryBase = flag.Duration("retry-delay", 0, "backoff before the first retry, doubling per attempt")
 	)
 	flag.Parse()
+
+	bench.Hardening.VerifyChecksums = *verify
+	bench.Hardening.Retry = em.RetryPolicy{
+		MaxRetries:        *retries,
+		BaseDelay:         *retryBase,
+		RetryCorruptReads: *verify && *retries > 0,
+	}
 
 	dir := *scratch
 	if dir == "" {

@@ -38,6 +38,10 @@ func main() {
 		indent    = flag.String("indent", "", "pretty-print output with this unit")
 		scratch   = flag.String("scratch", "", "scratch directory (default system temp)")
 		stats     = flag.Bool("stats", false, "print the I/O accounting to stderr")
+		verify    = flag.Bool("verify-checksums", false, "checksum every spill block and verify on read (detects torn writes and bit rot)")
+		retries   = flag.Int("retries", 0, "re-attempt transiently faulted spill transfers up to this many times (0 disables)")
+		retryBase = flag.Duration("retry-delay", 0, "backoff before the first retry, doubling per attempt")
+		retryMax  = flag.Duration("retry-max-delay", 0, "cap on the retry backoff (0 = uncapped)")
 	)
 	flag.Parse()
 
@@ -86,9 +90,16 @@ func main() {
 	}
 
 	cfg := nexsort.Config{
-		BlockSize:   *blockSize,
-		MemoryBytes: *memBytes,
-		ScratchDir:  *scratch,
+		BlockSize:       *blockSize,
+		MemoryBytes:     *memBytes,
+		ScratchDir:      *scratch,
+		VerifyChecksums: *verify,
+		Retry: nexsort.RetryPolicy{
+			MaxRetries:        *retries,
+			BaseDelay:         *retryBase,
+			MaxDelay:          *retryMax,
+			RetryCorruptReads: *verify && *retries > 0,
+		},
 	}
 	opts := nexsort.Options{
 		Criterion:   crit,
@@ -109,6 +120,9 @@ func main() {
 	}
 	res, err := nexsort.Sort(in, out, cfg, opts)
 	if err != nil {
+		if *outPath != "" {
+			os.Remove(*outPath) // same contract as SortFile: no partial results
+		}
 		fatal(err)
 	}
 	if *stats {
@@ -122,7 +136,15 @@ func main() {
 		}
 		sort.Strings(cats)
 		for _, c := range cats {
-			fmt.Fprintf(os.Stderr, "  %-14s reads=%-8d writes=%d\n", c, res.IOs[c].Reads, res.IOs[c].Writes)
+			n := res.IOs[c]
+			line := fmt.Sprintf("  %-14s reads=%-8d writes=%d", c, n.Reads, n.Writes)
+			if n.Retries > 0 {
+				line += fmt.Sprintf(" retries=%d", n.Retries)
+			}
+			if n.ChecksumFailures > 0 {
+				line += fmt.Sprintf(" checksum-failures=%d", n.ChecksumFailures)
+			}
+			fmt.Fprintln(os.Stderr, line)
 		}
 		if res.NEXSORT != nil {
 			r := res.NEXSORT

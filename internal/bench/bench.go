@@ -127,14 +127,25 @@ type Result struct {
 	RecordBytes int64
 }
 
+// Hardening is the process-wide spill-hardening configuration applied to
+// every experiment environment; cmd/nexbench sets it from flags. Fault-free
+// hardening leaves the counted block transfers unchanged, so the paper's
+// curves can be regenerated with it on.
+var Hardening struct {
+	VerifyChecksums bool
+	Retry           em.RetryPolicy
+}
+
 // Run sorts the workload once under p, discarding the output document (its
 // write I/O is still counted).
 func Run(w *Workload, p Params) (*Result, error) {
 	cfg := em.Config{
-		BlockSize:  p.BlockSize,
-		MemBlocks:  p.MemBlocks,
-		ScratchDir: p.ScratchDir,
-		InMemory:   p.ScratchDir == "",
+		BlockSize:       p.BlockSize,
+		MemBlocks:       p.MemBlocks,
+		ScratchDir:      p.ScratchDir,
+		InMemory:        p.ScratchDir == "",
+		VerifyChecksums: Hardening.VerifyChecksums,
+		Retry:           Hardening.Retry,
 	}
 	env, err := em.NewEnv(cfg)
 	if err != nil {

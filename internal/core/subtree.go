@@ -184,19 +184,22 @@ func (s *sorter) externalSubtreeSort(start int64, relLimit int, w *runstore.Writ
 // into incomplete sorted runs by graceful degeneration: the remaining
 // uncut children are interior-sorted in memory into one more batch, and
 // everything is merged into the element's complete sorted run.
-func (s *sorter) mergedSubtreeSort(rec pathRec, endTok xmltok.Token, incRuns []*em.Stream, relLimit int, noSort bool, w *runstore.Writer) error {
+func (s *sorter) mergedSubtreeSort(rec pathRec, endTok xmltok.Token, incRuns []*em.Stream, relLimit int, noSort bool, w *runstore.Writer) (err error) {
 	// Lend the data stack's accumulation window to the merge: everything
 	// that mattered was already cut into incomplete runs, so the stack
 	// below needs only one resident block, and the freed blocks buy the
 	// merge its fan-in (external merge sort's buffer/merge phase split).
 	restore := s.data.Resident()
 	if restore > 1 {
-		if err := s.data.SetResident(1); err != nil {
-			return err
+		if serr := s.data.SetResident(1); serr != nil {
+			return serr
 		}
 		defer func() {
-			if err := s.data.SetResident(restore); err != nil {
-				panic(err) // regrowing a window cannot fail to evict
+			// Regrowing only re-grants budget; it can still fail if an
+			// error unwind above left blocks granted, and that must
+			// surface as an error, not a panic mid-teardown.
+			if rerr := s.data.SetResident(restore); rerr != nil && err == nil {
+				err = fmt.Errorf("core: restoring data-stack window: %w", rerr)
 			}
 		}()
 	}

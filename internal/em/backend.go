@@ -16,6 +16,35 @@ type Backend interface {
 	io.Closer
 }
 
+// CategoryAwareBackend is the optional extension hardened backends
+// implement: the Device passes the I/O's accounting category down so
+// wrapper layers (retry, checksum) can charge their retry and
+// checksum-failure counters to the same per-category breakdown as the
+// block transfers themselves.
+type CategoryAwareBackend interface {
+	Backend
+	ReadAtCat(p []byte, off int64, c Category) (int, error)
+	WriteAtCat(p []byte, off int64, c Category) (int, error)
+}
+
+// readAtCat dispatches a read through the category-aware path when the
+// backend supports it.
+func readAtCat(b Backend, p []byte, off int64, c Category) (int, error) {
+	if cb, ok := b.(CategoryAwareBackend); ok {
+		return cb.ReadAtCat(p, off, c)
+	}
+	return b.ReadAt(p, off)
+}
+
+// writeAtCat dispatches a write through the category-aware path when the
+// backend supports it.
+func writeAtCat(b Backend, p []byte, off int64, c Category) (int, error) {
+	if cb, ok := b.(CategoryAwareBackend); ok {
+		return cb.WriteAtCat(p, off, c)
+	}
+	return b.WriteAt(p, off)
+}
+
 // FileBackend is a Backend over an operating-system file. It is the
 // production backend: spill data (runs, paged-out stack blocks) really does
 // leave main memory.
@@ -34,16 +63,28 @@ func NewFileBackend(path string) (*FileBackend, error) {
 }
 
 // ReadAt implements io.ReaderAt. Reads past the current end of file are
-// zero-filled so that freshly allocated blocks read back as zeros.
+// zero-filled so that freshly allocated blocks read back as zeros. Partial
+// reads are retried in place until the buffer fills or a real error
+// surfaces; io.ErrUnexpectedEOF (a short read that still hit end of file)
+// gets the same zero-fill treatment as a clean io.EOF.
 func (b *FileBackend) ReadAt(p []byte, off int64) (int, error) {
-	n, err := b.f.ReadAt(p, off)
-	if err == io.EOF {
-		for i := n; i < len(p); i++ {
-			p[i] = 0
+	n := 0
+	for n < len(p) {
+		m, err := b.f.ReadAt(p[n:], off+int64(n))
+		n += m
+		switch {
+		case err == io.EOF || err == io.ErrUnexpectedEOF:
+			for i := n; i < len(p); i++ {
+				p[i] = 0
+			}
+			return len(p), nil
+		case err != nil:
+			return n, err
+		case m == 0:
+			return n, io.ErrNoProgress
 		}
-		return len(p), nil
 	}
-	return n, err
+	return n, nil
 }
 
 // WriteAt implements io.WriterAt.

@@ -35,12 +35,16 @@ func NewDevice(backend Backend, blockSize int, stats *Stats) *Device {
 // NewFileDevice creates a Device backed by a scratch file in dir (the
 // system temp dir if empty). The file is removed on Close.
 func NewFileDevice(dir string, blockSize int, stats *Stats) (*Device, error) {
-	path := filepath.Join(dir, fmt.Sprintf("nexsort-scratch-%d.bin", nextScratchID()))
-	b, err := NewFileBackend(path)
+	b, err := NewFileBackend(scratchPath(dir))
 	if err != nil {
 		return nil, err
 	}
 	return NewDevice(b, blockSize, stats), nil
+}
+
+// scratchPath returns a fresh scratch-file path in dir.
+func scratchPath(dir string) string {
+	return filepath.Join(dir, fmt.Sprintf("nexsort-scratch-%d.bin", nextScratchID()))
 }
 
 var (
@@ -97,7 +101,7 @@ func (d *Device) ReadBlock(c Category, id int64, p []byte) error {
 	backend := d.backend
 	d.mu.Unlock()
 
-	if _, err := backend.ReadAt(p, id*int64(d.blockSize)); err != nil {
+	if _, err := readAtCat(backend, p, id*int64(d.blockSize), c); err != nil {
 		return fmt.Errorf("em: read block %d: %w", id, err)
 	}
 	d.stats.AddReads(c, 1)
@@ -122,7 +126,7 @@ func (d *Device) WriteBlock(c Category, id int64, p []byte) error {
 	backend := d.backend
 	d.mu.Unlock()
 
-	if _, err := backend.WriteAt(p, id*int64(d.blockSize)); err != nil {
+	if _, err := writeAtCat(backend, p, id*int64(d.blockSize), c); err != nil {
 		return fmt.Errorf("em: write block %d: %w", id, err)
 	}
 	d.stats.AddWrites(c, 1)

@@ -17,6 +17,22 @@ type Config struct {
 	ScratchDir string
 	// InMemory forces the in-memory backend even if ScratchDir is set.
 	InMemory bool
+
+	// VerifyChecksums stores a CRC-32C trailer with every spill block and
+	// verifies it on read, turning torn writes and bit rot into typed
+	// ErrCorruptBlock errors instead of silent corruption. Costs 8 bytes
+	// of scratch space per block and one CRC pass per transfer; the
+	// block-transfer counters are unchanged.
+	VerifyChecksums bool
+	// Retry re-attempts backend operations that fail with a transient
+	// error (and, optionally, corrupt reads) under a bounded backoff.
+	// The zero policy disables retrying.
+	Retry RetryPolicy
+	// WrapBackend, when non-nil, wraps the raw backend before the
+	// hardening layers are applied. The chaos harness injects its fault
+	// backend here, underneath checksum verification and retry, exactly
+	// where a faulty device would sit.
+	WrapBackend func(Backend) Backend
 }
 
 // Validate reports whether the configuration satisfies the minimum-memory
@@ -42,28 +58,49 @@ type Env struct {
 	Conf   Config
 }
 
-// NewEnv builds an environment from cfg.
+// NewEnv builds an environment from cfg. The spill backend is assembled
+// bottom-up: the raw store (file or memory), the optional WrapBackend test
+// hook (fault injection), then checksum verification, then transient-fault
+// retry — so retries re-drive verification and verification sees exactly
+// what the (possibly faulty) device returned.
 func NewEnv(cfg Config) (*Env, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	stats := NewStats()
-	var dev *Device
+	var backend Backend
 	if cfg.ScratchDir != "" && !cfg.InMemory {
-		d, err := NewFileDevice(cfg.ScratchDir, cfg.BlockSize, stats)
+		b, err := NewFileBackend(scratchPath(cfg.ScratchDir))
 		if err != nil {
 			return nil, err
 		}
-		dev = d
+		backend = b
 	} else {
-		dev = NewDevice(NewMemBackend(), cfg.BlockSize, stats)
+		backend = NewMemBackend()
 	}
+	if cfg.WrapBackend != nil {
+		backend = cfg.WrapBackend(backend)
+	}
+	backend = HardenBackend(backend, cfg, stats)
 	return &Env{
-		Dev:    dev,
+		Dev:    NewDevice(backend, cfg.BlockSize, stats),
 		Stats:  stats,
 		Budget: NewBudget(cfg.MemBlocks),
 		Conf:   cfg,
 	}, nil
+}
+
+// HardenBackend applies cfg's hardening layers (checksums, then retry) to
+// backend. It is exposed so tests can build custom stacks over hand-made
+// backends.
+func HardenBackend(backend Backend, cfg Config, stats *Stats) Backend {
+	if cfg.VerifyChecksums {
+		backend = NewChecksumBackend(backend, cfg.BlockSize, stats)
+	}
+	if cfg.Retry.Enabled() {
+		backend = NewRetryBackend(backend, cfg.Retry, stats)
+	}
+	return backend
 }
 
 // Close releases the scratch device.

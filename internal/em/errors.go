@@ -1,0 +1,126 @@
+package em
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+)
+
+// This file defines the failure model of the spill substrate. Every error a
+// Backend can surface falls into one of three classes:
+//
+//   - Transient: the operation may succeed if simply retried (interrupted
+//     syscalls, momentary device stalls, in-transit corruption that a
+//     re-read bypasses). RetryBackend retries these under a bounded-backoff
+//     policy.
+//   - Corrupt: the bytes at rest fail checksum verification — a torn write
+//     or bit rot. Retrying a read cannot help once the data on the device
+//     is wrong, but a re-read *can* help when the corruption happened in
+//     transit, so RetryPolicy.RetryCorruptReads treats read-side corruption
+//     as retryable.
+//   - Permanent: everything else. Surfaced immediately.
+//
+// The classes are typed so that callers up the stack (runstore, xstack,
+// core, the public API) can distinguish "retry exhausted a transient fault"
+// from "the scratch data is gone" without string matching.
+
+// ErrCorruptBlock is the sentinel matched by errors.Is for any block that
+// failed checksum verification. The concrete error is a *CorruptBlockError
+// carrying the block location and reason.
+var ErrCorruptBlock = errors.New("em: corrupt block")
+
+// CorruptBlockError reports a block whose stored checksum did not match its
+// payload: a torn write, bit rot, or in-transit corruption.
+type CorruptBlockError struct {
+	// Block is the logical block index on the device.
+	Block int64
+	// Reason describes the mismatch (bad checksum, torn trailer, ...).
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptBlockError) Error() string {
+	return fmt.Sprintf("em: corrupt block %d: %s", e.Block, e.Reason)
+}
+
+// Is makes errors.Is(err, ErrCorruptBlock) match any CorruptBlockError.
+func (e *CorruptBlockError) Is(target error) bool { return target == ErrCorruptBlock }
+
+// TransientError marks an error as transient: the same operation may
+// succeed if retried. The fault injector wraps its recoverable faults in
+// TransientError, and the classifier also recognizes the usual transient
+// syscall errnos from real devices.
+type TransientError struct {
+	Err error
+}
+
+// Error implements error.
+func (e *TransientError) Error() string { return "em: transient I/O error: " + e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *TransientError) Unwrap() error { return e.Err }
+
+// MarkTransient wraps err as transient. A nil err returns nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &TransientError{Err: err}
+}
+
+// ErrorClass is the retry-relevant classification of a backend error.
+type ErrorClass int
+
+// Error classes, from most to least hopeful.
+const (
+	// ClassTransient errors may succeed on retry.
+	ClassTransient ErrorClass = iota
+	// ClassCorrupt errors are checksum failures; read-side retries may
+	// help (in-transit corruption), write-side cannot.
+	ClassCorrupt
+	// ClassPermanent errors will not improve with retries.
+	ClassPermanent
+)
+
+// String names the class.
+func (c ErrorClass) String() string {
+	switch c {
+	case ClassTransient:
+		return "transient"
+	case ClassCorrupt:
+		return "corrupt"
+	case ClassPermanent:
+		return "permanent"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Classify buckets err into an ErrorClass. Explicitly marked
+// TransientErrors and the retryable syscall errnos (EINTR, EAGAIN,
+// ETIMEDOUT, EBUSY) classify as transient; checksum failures as corrupt;
+// everything else — including nil — as permanent.
+func Classify(err error) ErrorClass {
+	if err == nil {
+		return ClassPermanent
+	}
+	var te *TransientError
+	if errors.As(err, &te) {
+		return ClassTransient
+	}
+	if errors.Is(err, ErrCorruptBlock) {
+		return ClassCorrupt
+	}
+	for _, errno := range []syscall.Errno{syscall.EINTR, syscall.EAGAIN, syscall.ETIMEDOUT, syscall.EBUSY} {
+		if errors.Is(err, errno) {
+			return ClassTransient
+		}
+	}
+	return ClassPermanent
+}
+
+// IsTransient reports whether err classifies as retryable-as-is.
+func IsTransient(err error) bool { return err != nil && Classify(err) == ClassTransient }
+
+// IsCorrupt reports whether err is a checksum failure.
+func IsCorrupt(err error) bool { return err != nil && errors.Is(err, ErrCorruptBlock) }

@@ -1,0 +1,183 @@
+package em
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// ErrChaosPermanent is the permanent device error the chaos injector
+// surfaces; it classifies as ClassPermanent so retry layers give up on it
+// immediately.
+var ErrChaosPermanent = errors.New("em: injected permanent device error")
+
+// ChaosConfig configures the probabilistic fault injector. All
+// probabilities are per-operation in [0,1] and are evaluated in the order
+// the fields are declared; the first one that fires wins, so at most one
+// fault is injected per operation. The injector is driven by a seeded
+// deterministic RNG: the same seed over the same operation sequence
+// reproduces the same faults, which is what makes chaos trials replayable.
+type ChaosConfig struct {
+	// Seed seeds the deterministic RNG.
+	Seed int64
+
+	// ReadPermanentProb / WritePermanentProb inject non-retryable device
+	// errors (ErrChaosPermanent).
+	ReadPermanentProb  float64
+	WritePermanentProb float64
+
+	// ReadTransientProb / WriteTransientProb inject TransientErrors: the
+	// operation fails without touching the device and succeeds when
+	// retried (subject to MaxConsecutive).
+	ReadTransientProb  float64
+	WriteTransientProb float64
+
+	// ReadBitFlipProb corrupts one random bit of the returned buffer
+	// after a successful read — in-transit corruption that a re-read
+	// clears. Recoverable, so it counts toward MaxConsecutive.
+	ReadBitFlipProb float64
+
+	// WriteBitFlipProb corrupts one random bit of the payload before it
+	// reaches the device — at-rest corruption that only a checksum can
+	// catch. Not recoverable by retrying reads.
+	WriteBitFlipProb float64
+
+	// TornWriteProb silently persists only a prefix of the payload while
+	// reporting full success — the classic torn write. Only a checksum
+	// can catch it, on the next read of the block.
+	TornWriteProb float64
+
+	// ShortWriteProb persists a prefix and reports a TransientError, the
+	// honest short write; a full-block rewrite on retry heals it.
+	ShortWriteProb float64
+
+	// MaxConsecutive caps how many recoverable faults (transient errors,
+	// short writes, read bit-flips) fire in a row before the injector
+	// forces a clean operation. Setting it at or below the retry budget
+	// guarantees transient-only chaos always makes progress. 0 means
+	// uncapped.
+	MaxConsecutive int
+}
+
+// Active reports whether any fault has a nonzero probability.
+func (c ChaosConfig) Active() bool {
+	return c.ReadPermanentProb > 0 || c.WritePermanentProb > 0 ||
+		c.ReadTransientProb > 0 || c.WriteTransientProb > 0 ||
+		c.ReadBitFlipProb > 0 || c.WriteBitFlipProb > 0 ||
+		c.TornWriteProb > 0 || c.ShortWriteProb > 0
+}
+
+// ChaosBackend wraps a Backend with seeded probabilistic fault injection:
+// transient and permanent errors, in-transit and at-rest bit flips, torn
+// and short writes. It is the adversary the hardening layers (checksum,
+// retry) are tested against; see the chaostest package for the harness.
+type ChaosBackend struct {
+	inner Backend
+
+	mu          sync.Mutex
+	cfg         ChaosConfig
+	rng         *rand.Rand
+	consecutive int
+	injected    map[string]int64
+}
+
+// NewChaosBackend wraps inner with fault injection per cfg.
+func NewChaosBackend(inner Backend, cfg ChaosConfig) *ChaosBackend {
+	return &ChaosBackend{
+		inner:    inner,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		injected: map[string]int64{},
+	}
+}
+
+// Injected returns a copy of the per-kind injection counts, for harness
+// reporting and assertions.
+func (b *ChaosBackend) Injected() map[string]int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int64, len(b.injected))
+	for k, v := range b.injected {
+		out[k] = v
+	}
+	return out
+}
+
+// fire rolls the dice for one fault kind, honoring the consecutive cap for
+// recoverable kinds. Callers must hold b.mu.
+func (b *ChaosBackend) fire(prob float64, kind string, recoverable bool) bool {
+	if prob <= 0 {
+		return false
+	}
+	if recoverable && b.cfg.MaxConsecutive > 0 && b.consecutive >= b.cfg.MaxConsecutive {
+		return false
+	}
+	if b.rng.Float64() >= prob {
+		return false
+	}
+	b.injected[kind]++
+	if recoverable {
+		b.consecutive++
+	}
+	return true
+}
+
+// ReadAt implements io.ReaderAt with fault injection.
+func (b *ChaosBackend) ReadAt(p []byte, off int64) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.fire(b.cfg.ReadPermanentProb, "read-permanent", false):
+		return 0, fmt.Errorf("read at %d: %w", off, ErrChaosPermanent)
+	case b.fire(b.cfg.ReadTransientProb, "read-transient", true):
+		return 0, MarkTransient(fmt.Errorf("injected read stall at %d", off))
+	case b.fire(b.cfg.ReadBitFlipProb, "read-bitflip", true):
+		n, err := b.inner.ReadAt(p, off)
+		if err == nil && len(p) > 0 {
+			bit := b.rng.Intn(len(p) * 8)
+			p[bit/8] ^= 1 << uint(bit%8)
+		}
+		return n, err
+	}
+	b.consecutive = 0
+	return b.inner.ReadAt(p, off)
+}
+
+// WriteAt implements io.WriterAt with fault injection.
+func (b *ChaosBackend) WriteAt(p []byte, off int64) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.fire(b.cfg.WritePermanentProb, "write-permanent", false):
+		return 0, fmt.Errorf("write at %d: %w", off, ErrChaosPermanent)
+	case b.fire(b.cfg.WriteTransientProb, "write-transient", true):
+		return 0, MarkTransient(fmt.Errorf("injected write stall at %d", off))
+	case b.fire(b.cfg.WriteBitFlipProb, "write-bitflip", false):
+		if len(p) == 0 {
+			return b.inner.WriteAt(p, off)
+		}
+		flipped := make([]byte, len(p))
+		copy(flipped, p)
+		bit := b.rng.Intn(len(flipped) * 8)
+		flipped[bit/8] ^= 1 << uint(bit%8)
+		return b.inner.WriteAt(flipped, off)
+	case b.fire(b.cfg.TornWriteProb, "torn-write", false):
+		n := b.rng.Intn(len(p) + 1)
+		if _, err := b.inner.WriteAt(p[:n], off); err != nil {
+			return 0, err
+		}
+		return len(p), nil // silent: reports full success
+	case b.fire(b.cfg.ShortWriteProb, "short-write", true):
+		n := b.rng.Intn(len(p) + 1)
+		if m, err := b.inner.WriteAt(p[:n], off); err != nil {
+			return m, err
+		}
+		return n, MarkTransient(fmt.Errorf("injected short write at %d: %d of %d bytes", off, n, len(p)))
+	}
+	b.consecutive = 0
+	return b.inner.WriteAt(p, off)
+}
+
+// Close closes the wrapped backend.
+func (b *ChaosBackend) Close() error { return b.inner.Close() }

@@ -1,0 +1,126 @@
+package em
+
+import (
+	"fmt"
+	"time"
+)
+
+// RetryPolicy bounds how the retry layer re-attempts faulted backend
+// operations. The zero value disables retries entirely.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first failure; 0
+	// disables the retry layer.
+	MaxRetries int
+	// BaseDelay is the backoff before the first retry; each subsequent
+	// retry doubles it. Zero retries immediately, which is what tests and
+	// memory-backed devices want.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff. Zero means uncapped.
+	MaxDelay time.Duration
+	// RetryCorruptReads additionally retries reads that failed checksum
+	// verification: in-transit corruption disappears on a re-read, while
+	// at-rest corruption keeps failing and surfaces the typed
+	// ErrCorruptBlock once the budget is spent. Write-side errors are
+	// never retried on corruption (there is nothing new to observe).
+	RetryCorruptReads bool
+	// Sleep replaces time.Sleep in tests; nil uses time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// Enabled reports whether the policy performs any retries.
+func (p RetryPolicy) Enabled() bool { return p.MaxRetries > 0 }
+
+// delay returns the backoff before retry attempt n (0-based).
+func (p RetryPolicy) delay(n int) time.Duration {
+	if p.BaseDelay <= 0 {
+		return 0
+	}
+	d := p.BaseDelay << uint(n)
+	if d <= 0 || (p.MaxDelay > 0 && d > p.MaxDelay) {
+		d = p.MaxDelay
+		if d <= 0 {
+			d = p.BaseDelay
+		}
+	}
+	return d
+}
+
+func (p RetryPolicy) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// RetryBackend wraps a Backend and re-attempts operations that fail with a
+// transient error (and optionally reads that fail checksum verification),
+// under a bounded exponential-backoff policy. Each re-attempt is counted
+// per category in stats, so the per-category I/O report shows how much
+// work transient faults cost. Once the budget is exhausted the last error
+// is returned unchanged, preserving its class for callers.
+type RetryBackend struct {
+	inner  Backend
+	policy RetryPolicy
+	stats  *Stats
+}
+
+// NewRetryBackend layers policy over inner, charging retry counts to stats
+// (nil disables accounting, not retrying).
+func NewRetryBackend(inner Backend, policy RetryPolicy, stats *Stats) *RetryBackend {
+	if policy.MaxRetries < 0 {
+		panic(fmt.Sprintf("em: negative MaxRetries %d", policy.MaxRetries))
+	}
+	return &RetryBackend{inner: inner, policy: policy, stats: stats}
+}
+
+// retryable reports whether err is worth re-attempting for the given
+// operation direction.
+func (b *RetryBackend) retryable(err error, isRead bool) bool {
+	switch Classify(err) {
+	case ClassTransient:
+		return true
+	case ClassCorrupt:
+		return isRead && b.policy.RetryCorruptReads
+	default:
+		return false
+	}
+}
+
+func (b *RetryBackend) do(c Category, isRead bool, op func() (int, error)) (int, error) {
+	n, err := op()
+	for attempt := 0; err != nil && attempt < b.policy.MaxRetries && b.retryable(err, isRead); attempt++ {
+		b.policy.sleep(b.policy.delay(attempt))
+		if b.stats != nil {
+			b.stats.AddRetries(c, 1)
+		}
+		n, err = op()
+	}
+	return n, err
+}
+
+// ReadAt implements io.ReaderAt under the scratch category.
+func (b *RetryBackend) ReadAt(p []byte, off int64) (int, error) {
+	return b.ReadAtCat(p, off, CatScratch)
+}
+
+// WriteAt implements io.WriterAt under the scratch category.
+func (b *RetryBackend) WriteAt(p []byte, off int64) (int, error) {
+	return b.WriteAtCat(p, off, CatScratch)
+}
+
+// ReadAtCat reads with retries charged to category c.
+func (b *RetryBackend) ReadAtCat(p []byte, off int64, c Category) (int, error) {
+	return b.do(c, true, func() (int, error) { return readAtCat(b.inner, p, off, c) })
+}
+
+// WriteAtCat writes with retries charged to category c.
+func (b *RetryBackend) WriteAtCat(p []byte, off int64, c Category) (int, error) {
+	return b.do(c, false, func() (int, error) { return writeAtCat(b.inner, p, off, c) })
+}
+
+// Close closes the wrapped backend.
+func (b *RetryBackend) Close() error { return b.inner.Close() }

@@ -12,9 +12,11 @@ import (
 // CountingReader/CountingWriter wrapping the input and output files, so that
 // TotalIOs reflects the complete cost of an algorithm run.
 type Stats struct {
-	mu     sync.Mutex
-	reads  [numCategories]int64
-	writes [numCategories]int64
+	mu      sync.Mutex
+	reads   [numCategories]int64
+	writes  [numCategories]int64
+	retries [numCategories]int64
+	ckFails [numCategories]int64
 }
 
 // NewStats returns an empty Stats.
@@ -31,6 +33,23 @@ func (s *Stats) AddReads(c Category, n int64) {
 func (s *Stats) AddWrites(c Category, n int64) {
 	s.mu.Lock()
 	s.writes[c] += n
+	s.mu.Unlock()
+}
+
+// AddRetries records n retried backend operations under category c. The
+// retry layer calls this once per re-attempt, so the counter measures
+// wasted transfers caused by transient faults.
+func (s *Stats) AddRetries(c Category, n int64) {
+	s.mu.Lock()
+	s.retries[c] += n
+	s.mu.Unlock()
+}
+
+// AddChecksumFailures records n blocks that failed checksum verification
+// under category c.
+func (s *Stats) AddChecksumFailures(c Category, n int64) {
+	s.mu.Lock()
+	s.ckFails[c] += n
 	s.mu.Unlock()
 }
 
@@ -81,11 +100,49 @@ func (s *Stats) TotalWrites() int64 {
 // the paper's primary performance metric.
 func (s *Stats) TotalIOs() int64 { return s.TotalReads() + s.TotalWrites() }
 
+// Retries returns the retried operations recorded under category c.
+func (s *Stats) Retries(c Category) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retries[c]
+}
+
+// ChecksumFailures returns the checksum failures recorded under category c.
+func (s *Stats) ChecksumFailures(c Category) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ckFails[c]
+}
+
+// TotalRetries returns retried operations across all categories.
+func (s *Stats) TotalRetries() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t int64
+	for _, v := range s.retries {
+		t += v
+	}
+	return t
+}
+
+// TotalChecksumFailures returns checksum failures across all categories.
+func (s *Stats) TotalChecksumFailures() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var t int64
+	for _, v := range s.ckFails {
+		t += v
+	}
+	return t
+}
+
 // Reset zeroes every counter.
 func (s *Stats) Reset() {
 	s.mu.Lock()
 	s.reads = [numCategories]int64{}
 	s.writes = [numCategories]int64{}
+	s.retries = [numCategories]int64{}
+	s.ckFails = [numCategories]int64{}
 	s.mu.Unlock()
 }
 
@@ -96,18 +153,30 @@ func (s *Stats) Snapshot() map[string]IOCount {
 	defer s.mu.Unlock()
 	out := make(map[string]IOCount)
 	for i := 0; i < int(numCategories); i++ {
-		if s.reads[i] == 0 && s.writes[i] == 0 {
+		if s.reads[i] == 0 && s.writes[i] == 0 && s.retries[i] == 0 && s.ckFails[i] == 0 {
 			continue
 		}
-		out[Category(i).String()] = IOCount{Reads: s.reads[i], Writes: s.writes[i]}
+		out[Category(i).String()] = IOCount{
+			Reads:            s.reads[i],
+			Writes:           s.writes[i],
+			Retries:          s.retries[i],
+			ChecksumFailures: s.ckFails[i],
+		}
 	}
 	return out
 }
 
-// IOCount is a read/write pair for one category in a Snapshot.
+// IOCount is the per-category counter set in a Snapshot: block transfers
+// plus the hardening layer's retry and checksum-failure counts.
 type IOCount struct {
 	Reads  int64
 	Writes int64
+	// Retries counts backend operations that were re-attempted after a
+	// transient fault; zero on a healthy device.
+	Retries int64
+	// ChecksumFailures counts blocks whose stored checksum did not match
+	// on read; zero unless the device corrupted data.
+	ChecksumFailures int64
 }
 
 // Total returns reads+writes.
@@ -126,7 +195,14 @@ func (s *Stats) String() string {
 	var total int64
 	for _, name := range names {
 		c := snap[name]
-		fmt.Fprintf(&b, "%s r=%d w=%d; ", name, c.Reads, c.Writes)
+		fmt.Fprintf(&b, "%s r=%d w=%d", name, c.Reads, c.Writes)
+		if c.Retries > 0 {
+			fmt.Fprintf(&b, " retry=%d", c.Retries)
+		}
+		if c.ChecksumFailures > 0 {
+			fmt.Fprintf(&b, " ckfail=%d", c.ChecksumFailures)
+		}
+		b.WriteString("; ")
 		total += c.Total()
 	}
 	fmt.Fprintf(&b, "total=%d", total)

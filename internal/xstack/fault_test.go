@@ -1,0 +1,169 @@
+package xstack
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"nexsort/internal/em"
+)
+
+// Error-path coverage for the pagers: when the scratch device faults
+// mid-operation, Push/Pop/Peek/ReadRange must surface the error — not
+// panic — and Close must still return every granted budget block.
+
+var errDisk = errors.New("xstack_test: injected device error")
+
+// faultDev builds a device over a FaultBackend so tests can arm one-shot
+// read or write failures.
+func faultDev(blockSize int) (*em.Device, *em.FaultBackend) {
+	fb := em.NewFaultBackend(em.NewMemBackend())
+	return em.NewDevice(fb, blockSize, em.NewStats()), fb
+}
+
+func TestByteStackPushWriteFault(t *testing.T) {
+	dev, fb := faultDev(32)
+	budget := em.NewBudget(8)
+	s, err := NewByteStack(dev, em.CatDataStack, budget, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fb.FailWriteAfter(1, errDisk) // first eviction write fails
+	var pushErr error
+	for i := 0; i < 16 && pushErr == nil; i++ {
+		pushErr = s.Push(bytes.Repeat([]byte{byte('a' + i)}, 16))
+	}
+	if !errors.Is(pushErr, errDisk) {
+		t.Fatalf("Push under write fault = %v, want %v", pushErr, errDisk)
+	}
+
+	s.Close()
+	if n := budget.InUse(); n != 0 {
+		t.Errorf("budget: %d blocks still granted after Close", n)
+	}
+}
+
+func TestByteStackReadRangeReadFault(t *testing.T) {
+	dev, fb := faultDev(32)
+	budget := em.NewBudget(8)
+	s, err := NewByteStack(dev, em.CatDataStack, budget, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill several blocks so the early ones are evicted to the device.
+	for i := 0; i < 8; i++ {
+		if err := s.Push(bytes.Repeat([]byte{byte('a' + i)}, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fb.FailReadAfter(1, errDisk) // first page-in fails
+	r, err := s.ReadRange(budget, 0)
+	if err == nil {
+		var buf [16]byte
+		_, err = r.Read(buf[:])
+		r.Close()
+	}
+	if !errors.Is(err, errDisk) {
+		t.Fatalf("ReadRange under read fault = %v, want %v", err, errDisk)
+	}
+
+	s.Close()
+	if n := budget.InUse(); n != 0 {
+		t.Errorf("budget: %d blocks still granted after Close", n)
+	}
+}
+
+func TestRecordStackPopPageInFault(t *testing.T) {
+	const recSize = 16
+	dev, fb := faultDev(32)
+	budget := em.NewBudget(8)
+	s, err := NewRecordStack(dev, em.CatPathStack, budget, 1, recSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two records per block; push enough that popping back crosses an
+	// evicted block boundary and needs a page-in.
+	rec := make([]byte, recSize)
+	for i := 0; i < 8; i++ {
+		rec[0] = byte(i)
+		if err := s.Push(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fb.FailReadAfter(1, errDisk)
+	var popErr error
+	for i := 0; i < 8 && popErr == nil; i++ {
+		popErr = s.Pop(rec)
+	}
+	if !errors.Is(popErr, errDisk) {
+		t.Fatalf("Pop under read fault = %v, want %v", popErr, errDisk)
+	}
+
+	s.Close()
+	if n := budget.InUse(); n != 0 {
+		t.Errorf("budget: %d blocks still granted after Close", n)
+	}
+}
+
+// TestStacksUnderChaos drives both stacks through a deterministic workload
+// over a probabilistically faulty device: whatever the injector does, the
+// stacks must fail with errors rather than panics, and Close must return
+// the full budget.
+func TestStacksUnderChaos(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			chaos := em.NewChaosBackend(em.NewMemBackend(), em.ChaosConfig{
+				Seed:               seed,
+				ReadTransientProb:  0.1,
+				WriteTransientProb: 0.1,
+				ReadPermanentProb:  0.05,
+				WritePermanentProb: 0.05,
+			})
+			dev := em.NewDevice(chaos, 32, em.NewStats())
+			budget := em.NewBudget(8)
+
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("stack op panicked under chaos: %v", r)
+				}
+				if n := budget.InUse(); n != 0 {
+					t.Errorf("budget: %d blocks still granted after Close", n)
+				}
+			}()
+
+			bs, err := NewByteStack(dev, em.CatDataStack, budget, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs, err := NewRecordStack(dev, em.CatPathStack, budget, 2, 16)
+			if err != nil {
+				bs.Close()
+				t.Fatal(err)
+			}
+			rec := make([]byte, 16)
+			for i := 0; i < 40; i++ {
+				bs.Push(bytes.Repeat([]byte{byte(i)}, 24)) // errors allowed, panics not
+				rs.Push(rec)
+				if i%5 == 4 {
+					rs.Pop(rec)
+					rs.Peek(rec)
+				}
+			}
+			if r, err := bs.ReadRange(budget, 0); err == nil {
+				var buf [64]byte
+				for {
+					if _, err := r.Read(buf[:]); err != nil {
+						break
+					}
+				}
+				r.Close()
+			}
+			bs.Close()
+			rs.Close()
+		})
+	}
+}

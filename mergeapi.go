@@ -28,6 +28,37 @@ func Merge(left, right io.Reader, crit *Criterion, out io.Writer, opts MergeOpti
 	return merge.Documents(left, right, crit, out, opts)
 }
 
+// MergeFiles is Merge over file paths. Like SortFile, it never leaves a
+// partial result behind: if the merge fails after the output file was
+// created, the file is removed, so outPath either holds a complete merged
+// document or does not exist.
+func MergeFiles(leftPath, rightPath, outPath string, crit *Criterion, opts MergeOptions) (*MergeReport, error) {
+	left, err := os.Open(leftPath)
+	if err != nil {
+		return nil, err
+	}
+	defer left.Close()
+	right, err := os.Open(rightPath)
+	if err != nil {
+		return nil, err
+	}
+	defer right.Close()
+
+	out, err := os.Create(outPath)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := Merge(left, right, crit, out, opts)
+	if closeErr := out.Close(); err == nil {
+		err = closeErr
+	}
+	if err != nil {
+		os.Remove(outPath)
+		return nil, err
+	}
+	return rep, nil
+}
+
 // ApplyUpdates applies a sorted batch of updates to a sorted base document
 // (the paper's second application): matched elements take the update's
 // attribute values, unmatched update elements are inserted at their sorted

@@ -78,8 +78,27 @@ func ByPath(chain ...string) Source { return keys.ByPath(chain...) }
 // document order when the attribute is absent.
 func ByAttrOrTag(attr string) *Criterion { return keys.ByAttrOrTag(attr) }
 
-// IOCount is the read/write pair reported for one I/O category.
+// IOCount is the read/write pair reported for one I/O category, plus the
+// hardening layers' retry and checksum-failure tallies.
 type IOCount = em.IOCount
+
+// RetryPolicy bounds how the spill device re-attempts transiently faulted
+// block transfers; see Config.Retry.
+type RetryPolicy = em.RetryPolicy
+
+// ErrCorruptBlock is the sentinel wrapped by every checksum-verification
+// failure. errors.Is(err, ErrCorruptBlock) — or IsCorrupt — identifies a
+// sort that failed because the scratch device returned damaged data.
+var ErrCorruptBlock = em.ErrCorruptBlock
+
+// IsCorrupt reports whether err means a spill block failed checksum
+// verification (bit rot or a torn write on the scratch device).
+func IsCorrupt(err error) bool { return em.IsCorrupt(err) }
+
+// IsTransient reports whether err is a transient device fault: the kind of
+// error that a Config.Retry policy re-attempts, surfaced only once the
+// retry budget is exhausted.
+func IsTransient(err error) bool { return em.IsTransient(err) }
 
 // Algorithm selects the sorting algorithm.
 type Algorithm int
@@ -124,6 +143,18 @@ type Config struct {
 	ScratchDir string
 	// InMemory backs the spill device with memory (tests, small inputs).
 	InMemory bool
+	// VerifyChecksums stores a CRC-32C trailer with every spill block and
+	// verifies it on read: torn writes and bit rot on the scratch device
+	// surface as typed errors (IsCorrupt) instead of silently corrupted
+	// output. Costs 8 bytes of scratch per block and one CRC pass per
+	// transfer; the counted block transfers are unchanged.
+	VerifyChecksums bool
+	// Retry re-attempts spill transfers that fail with a transient device
+	// error (IsTransient) under bounded exponential backoff, optionally
+	// re-reading blocks that failed checksum verification. The zero
+	// policy disables retrying. Re-attempts are tallied per category in
+	// the Result's I/O breakdown.
+	Retry RetryPolicy
 }
 
 // Defaults for Config.
@@ -150,7 +181,14 @@ func (c Config) normalize() (em.Config, error) {
 	if dir == "" && !c.InMemory {
 		dir = os.TempDir()
 	}
-	cfg := em.Config{BlockSize: bs, MemBlocks: blocks, ScratchDir: dir, InMemory: c.InMemory}
+	cfg := em.Config{
+		BlockSize:       bs,
+		MemBlocks:       blocks,
+		ScratchDir:      dir,
+		InMemory:        c.InMemory,
+		VerifyChecksums: c.VerifyChecksums,
+		Retry:           c.Retry,
+	}
 	if err := cfg.Validate(); err != nil {
 		return cfg, err
 	}
@@ -346,7 +384,9 @@ func sortInEnv(env *em.Env, in io.Reader, out io.Writer, opts Options) (*Result,
 // SortFile is Sort over file paths. Paths ending in ".gz" are read and
 // written gzip-compressed transparently (XML interchange files commonly
 // ship compressed); the I/O accounting measures the uncompressed stream,
-// matching the model's element counts.
+// matching the model's element counts. If the sort fails after the output
+// file was created, the partial output is removed: a path either holds a
+// complete sorted document or does not exist.
 func SortFile(inPath, outPath string, cfg Config, opts Options) (*Result, error) {
 	in, err := os.Open(inPath)
 	if err != nil {
@@ -384,6 +424,7 @@ func SortFile(inPath, outPath string, cfg Config, opts Options) (*Result, error)
 		err = closeErr
 	}
 	if err != nil {
+		os.Remove(outPath)
 		return nil, err
 	}
 	return res, nil

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Pre-PR gate: everything must pass before a change ships.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race -short ./..."
+go test -race -short ./...
+
+echo "check: all gates passed"
