@@ -2,8 +2,9 @@ GO ?= go
 
 .PHONY: check build test vet race bench
 
-# check is the pre-PR gate: vet, build everything, then the test suite
-# with the race detector in short mode (the soak tests run in full mode).
+# check is the pre-PR gate: vet, build everything, the full test suite,
+# then the suite again under the race detector in short mode (the soak
+# tests run in full mode; the parallel worker paths run under -race).
 check: ; ./scripts/check.sh
 
 build: ; $(GO) build ./...

@@ -155,3 +155,32 @@ func BenchmarkAblation(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkParallelSpeedup compares sequential and pooled-worker execution
+// of both sorters on one document. The custom metrics carry the experiment's
+// two findings: the wall-clock speedup, and (as a 0/1 flag) that the block
+// transfers stayed identical — parallelism must not move the paper's metric.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Parallel(bench.ParallelConfig{Scale: benchScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var bestNex, bestMerge float64 = 1, 1
+		invariant := 1.0
+		for _, r := range rows {
+			if !r.IOsMatch {
+				invariant = 0
+			}
+			switch {
+			case r.Algo == bench.AlgoNEXSORT && r.Speedup > bestNex:
+				bestNex = r.Speedup
+			case r.Algo == bench.AlgoMergeSort && r.Speedup > bestMerge:
+				bestMerge = r.Speedup
+			}
+		}
+		b.ReportMetric(bestNex, "nexsort-speedup")
+		b.ReportMetric(bestMerge, "mergesort-speedup")
+		b.ReportMetric(invariant, "IOs-invariant")
+	}
+}

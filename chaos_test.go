@@ -19,13 +19,18 @@ import (
 
 // chaosEnv is the trial environment shape: blocks small enough that a
 // few-hundred-element document spills heavily, memory at NEXSORT's
-// documented floor plus slack, full hardening on.
+// documented floor plus slack, full hardening on, and the worker pool
+// switched on (explicitly, so the soak exercises the concurrent paths even
+// on a single-CPU host). Faults must land identically either way: the
+// invariant "byte-identical output or a clean typed error, never a panic or
+// a leaked budget block" is parallelism-independent.
 func chaosEnv() em.Config {
 	return em.Config{
 		BlockSize:       512,
 		MemBlocks:       16,
 		VerifyChecksums: true,
 		Retry:           em.RetryPolicy{MaxRetries: 6, RetryCorruptReads: true},
+		Parallelism:     4,
 	}
 }
 

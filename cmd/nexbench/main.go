@@ -7,9 +7,11 @@
 //	nexbench -exp table1             # the key-path representation demo
 //
 // Experiments: table1, table2, fig5, fig6, fig7, threshold, bounds,
-// ablation, all. Results print as aligned text tables whose columns match
-// the paper's axes; EXPERIMENTS.md records a reference run next to the
-// paper's numbers.
+// ablation, parallel, all. Results print as aligned text tables whose
+// columns match the paper's axes; EXPERIMENTS.md records a reference run
+// next to the paper's numbers. The parallel experiment is not a paper
+// figure: it shows the worker pool's wall-clock speedup at identical
+// block-transfer counts.
 package main
 
 import (
@@ -25,13 +27,14 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|table2|fig5|fig6|fig7|threshold|bounds|ablation|all")
+		exp       = flag.String("exp", "all", "experiment: table1|table2|fig5|fig6|fig7|threshold|bounds|ablation|parallel|all")
 		scale     = flag.Float64("scale", 1.0, "input size multiplier (1.0 ≈ seconds per experiment)")
 		scratch   = flag.String("scratch", "", "scratch directory for workloads and spill (default: memory-backed spill, temp-dir workloads)")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		verify    = flag.Bool("verify-checksums", false, "checksum every spill block in the experiment environments")
 		retries   = flag.Int("retries", 0, "retry budget for transiently faulted spill transfers (0 disables)")
 		retryBase = flag.Duration("retry-delay", 0, "backoff before the first retry, doubling per attempt")
+		parallel  = flag.Int("parallel", 0, "worker parallelism for every experiment environment (0 = GOMAXPROCS, 1 = sequential); block-transfer counts are unaffected")
 	)
 	flag.Parse()
 
@@ -41,6 +44,7 @@ func main() {
 		BaseDelay:         *retryBase,
 		RetryCorruptReads: *verify && *retries > 0,
 	}
+	bench.DefaultParallelism = *parallel
 
 	dir := *scratch
 	if dir == "" {
@@ -135,6 +139,17 @@ func main() {
 				return err
 			}
 			printTable(bench.AblationTable(rows))
+			return nil
+		})
+	}
+	if want("parallel") {
+		ran = true
+		run("Parallel speedup (sequential vs worker pool)", func() error {
+			rows, err := bench.Parallel(bench.ParallelConfig{Scale: s, ScratchDir: dir, Seed: *seed})
+			if err != nil {
+				return err
+			}
+			printTable(bench.ParallelTable(rows))
 			return nil
 		})
 	}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"nexsort/internal/em"
+	"nexsort/internal/runstore"
+	"nexsort/internal/xmltree"
+)
+
+// Parallel subtree sorting. Sibling subtrees share no stack state: once a
+// complete subtree's bytes are popped off the data stack, sorting them and
+// writing the run touches only the subtree's own snapshot, its run writer,
+// and the (concurrency-safe) device. sortSubtree therefore dispatches the
+// in-memory case to a pooled worker when the budget admits a second
+// working set, and the main goroutine keeps scanning the input — the next
+// sibling fills while the previous one sorts and spills.
+//
+// Two rules keep the execution byte-identical to sequential at every
+// parallelism level, with unchanged block-transfer counts:
+//
+//  1. Admission reads effectiveFree() — the budget as a sequential run
+//     would see it, i.e. actual free blocks plus everything in-flight
+//     workers still hold. The internal-vs-external routing of every
+//     subtree (which determines all I/O) is thus independent of worker
+//     timing. Grant/release and the in-flight tally move together under
+//     parMu, so the figure is exact, never racy.
+//  2. Every non-dispatched path (external sort, degeneration, incomplete
+//     merges, error unwinds, the output phase) first drains the pool, so
+//     code that sizes itself by Budget.Free() — the key-path fallback,
+//     the child-record merger — sees exactly the sequential value.
+//
+// The subtree's bytes are snapshotted (read off the data stack) on the
+// main goroutine before dispatch — the same charged reads the sequential
+// path performs — so the worker does no stack I/O at all.
+type parState struct {
+	pool *em.Pool
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	inflight int // budget blocks held by in-flight workers
+	firstErr error
+	panicVal any
+}
+
+// effectiveFree returns the free-block count a sequential execution would
+// observe at this point of the scan: blocks actually free plus blocks held
+// by in-flight subtree workers (a sequential run would have already
+// released those).
+func (s *sorter) effectiveFree() int {
+	s.par.mu.Lock()
+	defer s.par.mu.Unlock()
+	return s.env.Budget.Free() + s.par.inflight
+}
+
+// grantWorker reserves n blocks for a worker and records them in the
+// in-flight tally atomically with the grant.
+func (s *sorter) grantWorker(n int) error {
+	s.par.mu.Lock()
+	defer s.par.mu.Unlock()
+	if err := s.env.Budget.Grant(n); err != nil {
+		return err
+	}
+	s.par.inflight += n
+	return nil
+}
+
+// releaseWorker returns a worker's blocks, keeping the tally paired.
+func (s *sorter) releaseWorker(n int) {
+	s.par.mu.Lock()
+	s.env.Budget.Release(n)
+	s.par.inflight -= n
+	s.par.mu.Unlock()
+}
+
+// workerErr reports (without waiting) a worker failure recorded so far,
+// re-raising a worker panic on the calling goroutine.
+func (s *sorter) workerErr() error {
+	s.par.mu.Lock()
+	defer s.par.mu.Unlock()
+	if s.par.panicVal != nil {
+		pv := s.par.panicVal
+		s.par.panicVal = nil
+		panic(pv)
+	}
+	return s.par.firstErr
+}
+
+// drainWorkers blocks until every dispatched subtree sort has finished and
+// released its blocks, then surfaces any worker failure. It must be called
+// before any code path that depends on Budget.Free() or on runs being
+// sealed. Workers never call it, so it cannot deadlock.
+func (s *sorter) drainWorkers() error {
+	s.par.wg.Wait()
+	return s.workerErr()
+}
+
+// tryDispatchSubtreeSort attempts to run the in-memory sort of the subtree
+// [start, start+size) on a pool worker. It returns ok=false (and no error)
+// when the pool is busy or the budget cannot admit a second working set —
+// the caller then drains and sorts sequentially. On ok=true the run is
+// created and will be sealed by the worker; the caller may immediately
+// truncate the data stack and continue scanning.
+func (s *sorter) tryDispatchSubtreeSort(start, size int64, relLimit int) (runstore.RunID, bool, error) {
+	if err := s.workerErr(); err != nil {
+		return 0, false, err
+	}
+	pool := s.par.pool
+	if !pool.TryAcquire() {
+		return 0, false, nil
+	}
+	bs := int64(s.env.Conf.BlockSize)
+	blocks := int((size + bs - 1) / bs)
+	// The worker's working set: the raw snapshot (blocks), the rebuilt
+	// tree — modelled at the snapshot's footprint, as the sequential
+	// grant in internalSubtreeSort models it — and the run writer's block.
+	held := 2*blocks + 1
+	if err := s.grantWorker(held); err != nil {
+		pool.Release()
+		return 0, false, nil // budget pressure: sort inline instead
+	}
+	snap, err := s.snapshotRange(start, size)
+	if err != nil {
+		s.releaseWorker(held)
+		pool.Release()
+		return 0, false, err
+	}
+	// The writer block is inside the worker's grant, so the store must not
+	// charge it again.
+	runID, w, err := s.store.Create(em.CatSubtreeSort, nil)
+	if err != nil {
+		s.releaseWorker(held)
+		pool.Release()
+		return 0, false, err
+	}
+	s.par.wg.Add(1)
+	go func() {
+		defer s.par.wg.Done()
+		defer pool.Release()
+		defer s.releaseWorker(held)
+		defer func() {
+			if r := recover(); r != nil {
+				s.par.mu.Lock()
+				if s.par.panicVal == nil {
+					s.par.panicVal = r
+				}
+				s.par.mu.Unlock()
+			}
+		}()
+		err := sortSnapshot(snap, relLimit, w)
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			s.par.mu.Lock()
+			if s.par.firstErr == nil {
+				s.par.firstErr = err
+			}
+			s.par.mu.Unlock()
+		}
+	}()
+	return runID, true, nil
+}
+
+// snapshotRange copies the data-stack range [start, Size()) into memory on
+// the calling goroutine. The reads are charged exactly as the sequential
+// in-memory sort's ReadRange pass, so dispatching changes no counter.
+func (s *sorter) snapshotRange(start, size int64) ([]byte, error) {
+	reader, err := s.data.ReadRange(s.env.Budget, start)
+	if err != nil {
+		return nil, err
+	}
+	defer reader.Close()
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(reader, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// sortSnapshot is the worker body: rebuild the subtree from its encoded
+// snapshot, sort it recursively, and stream it into the run. It is the
+// exact computation of internalSubtreeSort with the stack read replaced by
+// the in-memory snapshot.
+func sortSnapshot(snap []byte, relLimit int, w *runstore.Writer) error {
+	tree, err := xmltree.FromTokens(tokenSource{r: &sliceCursor{buf: snap}})
+	if err != nil {
+		return fmt.Errorf("core: rebuilding subtree: %w", err)
+	}
+	tree.SortToDepth(relLimit) // 0 sorts head to toe
+	return tree.EmitTokens(w.WriteToken)
+}

@@ -71,6 +71,10 @@ type sorter struct {
 	// data stack's resident window — the cut sorts memory-resident bytes.
 	cutCap int64
 
+	// par is the background-worker state for dispatched sibling-subtree
+	// sorts; see parallel.go for the concurrency and determinism rules.
+	par parState
+
 	report  *Report
 	encBuf  []byte
 	recBuf  []byte
@@ -100,8 +104,16 @@ func Sort(env *em.Env, in io.Reader, out io.Writer, opts Options) (*Report, erro
 		s.dict = compact.NewDictionary()
 		s.enc = compact.NewEncoder(s.dict)
 	}
+	s.par.pool = env.Pool()
 
 	rootRun, err := s.sortingPhase(in)
+	// Always drain dispatched subtree sorts before leaving the sorting
+	// phase: on success the output phase needs every run sealed; on error
+	// the workers must finish releasing their budget blocks before the
+	// caller inspects the budget (no leak, no double release).
+	if derr := s.drainWorkers(); err == nil {
+		err = derr
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -37,14 +37,46 @@ func (s *sorter) sortSubtree(rec pathRec, endTok xmltok.Token, ds int) (runstore
 		}
 	}
 
+	depthIdx := int(s.path.Len()) + 1 // the closed element's depth index
+	incRuns := s.incomplete[depthIdx]
+	delete(s.incomplete, depthIdx)
+
+	bs := int64(s.env.Conf.BlockSize)
+	// The plain in-memory case — no incomplete runs to merge, no depth
+	// boundary, no degeneration — is self-contained once the subtree's
+	// bytes leave the data stack, so it can run on a pool worker while the
+	// scan continues with the next sibling. The admission predicate is the
+	// sequential internal-vs-external routing verbatim (one block for the
+	// run writer, one reserved for the range reader), evaluated against
+	// effectiveFree() so that in-flight workers do not perturb it: every
+	// subtree routes exactly as it would at parallelism one, which is what
+	// keeps the block-transfer counts parallelism-invariant.
+	if len(incRuns) == 0 && !noSort && !s.opts.Degenerate &&
+		size <= int64(s.effectiveFree()-2)*bs {
+		runID, ok, err := s.tryDispatchSubtreeSort(rec.start, size, relLimit)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			s.report.InternalSorts++
+			return s.collapseSubtree(rec.start, endTok, runID)
+		}
+		// Pool busy or budget too tight for a second working set: fall
+		// through to the sequential path below.
+	}
+
+	// Sequential path. Wait out in-flight workers first: the branches
+	// below size themselves by Budget.Free() (the key-path fallback and
+	// the child-record merger take everything that is left), so they must
+	// see the budget a sequential execution would see.
+	if err := s.drainWorkers(); err != nil {
+		return 0, err
+	}
+
 	runID, w, err := s.store.Create(em.CatSubtreeSort, s.env.Budget)
 	if err != nil {
 		return 0, err
 	}
-
-	depthIdx := int(s.path.Len()) + 1 // the closed element's depth index
-	incRuns := s.incomplete[depthIdx]
-	delete(s.incomplete, depthIdx)
 
 	switch {
 	case len(incRuns) > 0:
@@ -53,13 +85,13 @@ func (s *sorter) sortSubtree(rec pathRec, endTok xmltok.Token, ds int) (runstore
 	case noSort:
 		err = s.copySubtree(rec.start, w)
 		s.report.UnsortedRuns++
-	case s.opts.Degenerate && size <= s.cutCap+int64(s.env.Conf.BlockSize):
+	case s.opts.Degenerate && size <= s.cutCap+bs:
 		// Under degeneration the cut trigger bounds every element's
 		// on-stack size, so the subtree is already memory-resident: sort
 		// it in place without a second grant.
 		err = s.internalSubtreeSort(rec.start, 0, relLimit, w)
 		s.report.InternalSorts++
-	case size <= int64(s.env.Budget.Free()-1)*int64(s.env.Conf.BlockSize):
+	case size <= int64(s.env.Budget.Free()-1)*bs:
 		// The encoded subtree fits in the remaining sort area (one block
 		// stays reserved for the range reader): in-memory recursive sort.
 		err = s.internalSubtreeSort(rec.start, size, relLimit, w)
@@ -75,8 +107,16 @@ func (s *sorter) sortSubtree(rec pathRec, endTok xmltok.Token, ds int) (runstore
 	if err := w.Close(); err != nil {
 		return 0, err
 	}
+	return s.collapseSubtree(rec.start, endTok, runID)
+}
 
-	if err := s.data.Truncate(rec.start); err != nil {
+// collapseSubtree replaces the subtree's bytes on the data stack with a
+// run-pointer token carrying the root's ordering key — the common tail of
+// both the sequential and the dispatched sort. For a dispatched sort the
+// worker still owns its private snapshot, so truncating here is safe even
+// while the sort is in flight.
+func (s *sorter) collapseSubtree(start int64, endTok xmltok.Token, runID runstore.RunID) (runstore.RunID, error) {
+	if err := s.data.Truncate(start); err != nil {
 		return 0, err
 	}
 	ptr := xmltok.Token{

@@ -14,6 +14,13 @@ import (
 //
 // The peak grant is tracked so tests can assert that an algorithm stayed
 // within its declared budget.
+//
+// Locking: every method takes the internal mutex, so Grant/Release are safe
+// from any goroutine — background sort workers release their own grants.
+// The mutex makes each call atomic, not sequences of calls; components that
+// need a consistent "free plus what my workers hold" figure for admission
+// decisions (core's effectiveFree) serialize their Grant/Release pairs
+// under their own coarser lock on top of this one.
 type Budget struct {
 	mu    sync.Mutex
 	total int

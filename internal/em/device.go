@@ -10,6 +10,14 @@ import (
 // accounting. Sorted runs and paged-out stack blocks live here. Blocks are
 // identified by a dense int64 ID handed out by AllocBlock; the Device never
 // reuses IDs, which keeps run pointers stable for the whole sort.
+//
+// Locking: the mutex guards allocation and the closed flag; the transfer
+// itself runs outside the lock, so concurrent workers overlap their block
+// I/O. That is safe because every backend in the tree is itself
+// concurrency-safe (FileBackend uses positional pread/pwrite; MemBackend,
+// ChecksumBackend and the fault injectors carry their own locks; the retry
+// layer is stateless), and because blocks are never shared between
+// in-flight writers — each stream/stack owns the block IDs it allocated.
 type Device struct {
 	blockSize int
 	stats     *Stats

@@ -1,6 +1,9 @@
 package em
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+)
 
 // Config describes an external-memory environment: the block size B (in
 // bytes) and the main-memory budget M (in blocks). These are the two knobs
@@ -17,6 +20,14 @@ type Config struct {
 	ScratchDir string
 	// InMemory forces the in-memory backend even if ScratchDir is set.
 	InMemory bool
+
+	// Parallelism bounds how many goroutines the sorters may use: the main
+	// scanning goroutine plus Parallelism-1 pooled workers that sort and
+	// spill runs/subtrees in the background. 0 means GOMAXPROCS; 1 forces
+	// fully sequential execution. Parallelism changes only wall-clock time:
+	// output bytes and per-category block-transfer counts are identical at
+	// every setting (see the concurrency model in DESIGN.md).
+	Parallelism int
 
 	// VerifyChecksums stores a CRC-32C trailer with every spill block and
 	// verifies it on read, turning torn writes and bit rot into typed
@@ -46,7 +57,18 @@ func (c Config) Validate() error {
 	if c.MemBlocks < 5 {
 		return fmt.Errorf("em: memory budget %d blocks too small (min 5)", c.MemBlocks)
 	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("em: negative parallelism %d", c.Parallelism)
+	}
 	return nil
+}
+
+// parallelism resolves the Parallelism knob: 0 defaults to GOMAXPROCS.
+func (c Config) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Env bundles the device, statistics and memory budget an algorithm run
@@ -56,7 +78,20 @@ type Env struct {
 	Stats  *Stats
 	Budget *Budget
 	Conf   Config
+
+	// pool admits background sort workers (Conf.Parallelism - 1 slots; the
+	// main goroutine is the remaining unit). Nil on hand-built Envs, which
+	// therefore run sequentially.
+	pool *Pool
 }
+
+// Parallelism returns the resolved parallelism level: Conf.Parallelism, or
+// GOMAXPROCS when that is zero.
+func (e *Env) Parallelism() int { return e.Conf.parallelism() }
+
+// Pool returns the background-worker pool (nil admits nothing, meaning
+// sequential execution).
+func (e *Env) Pool() *Pool { return e.pool }
 
 // NewEnv builds an environment from cfg. The spill backend is assembled
 // bottom-up: the raw store (file or memory), the optional WrapBackend test
@@ -87,6 +122,7 @@ func NewEnv(cfg Config) (*Env, error) {
 		Stats:  stats,
 		Budget: NewBudget(cfg.MemBlocks),
 		Conf:   cfg,
+		pool:   NewPool(cfg.parallelism() - 1),
 	}, nil
 }
 

@@ -4,94 +4,70 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 )
 
-// Stats accumulates block-I/O counts by Category. All methods are safe for
-// concurrent use. A single Stats is typically shared by a Device and the
-// CountingReader/CountingWriter wrapping the input and output files, so that
-// TotalIOs reflects the complete cost of an algorithm run.
+// Stats accumulates block-I/O counts by Category. Each counter is an
+// independent per-category atomic, so concurrent sort workers, stream
+// writers and hardening layers charge transfers without contending on a
+// lock — the Device issues I/O from many goroutines at Parallelism > 1. A
+// single Stats is typically shared by a Device and the
+// CountingReader/CountingWriter wrapping the input and output files, so
+// that TotalIOs reflects the complete cost of an algorithm run.
+//
+// Aggregates (Total*, Snapshot, String) sum the atomics individually;
+// taken while I/O is still in flight they can straddle a concurrent
+// update, but every figure reported by the sorters is read after the
+// worker pool has drained, where the counts are exact — and, by the
+// determinism guarantee (DESIGN.md), identical at every parallelism level.
 type Stats struct {
-	mu      sync.Mutex
-	reads   [numCategories]int64
-	writes  [numCategories]int64
-	retries [numCategories]int64
-	ckFails [numCategories]int64
+	reads   [numCategories]atomic.Int64
+	writes  [numCategories]atomic.Int64
+	retries [numCategories]atomic.Int64
+	ckFails [numCategories]atomic.Int64
 }
 
 // NewStats returns an empty Stats.
 func NewStats() *Stats { return &Stats{} }
 
 // AddReads records n block reads under category c.
-func (s *Stats) AddReads(c Category, n int64) {
-	s.mu.Lock()
-	s.reads[c] += n
-	s.mu.Unlock()
-}
+func (s *Stats) AddReads(c Category, n int64) { s.reads[c].Add(n) }
 
 // AddWrites records n block writes under category c.
-func (s *Stats) AddWrites(c Category, n int64) {
-	s.mu.Lock()
-	s.writes[c] += n
-	s.mu.Unlock()
-}
+func (s *Stats) AddWrites(c Category, n int64) { s.writes[c].Add(n) }
 
 // AddRetries records n retried backend operations under category c. The
 // retry layer calls this once per re-attempt, so the counter measures
 // wasted transfers caused by transient faults.
-func (s *Stats) AddRetries(c Category, n int64) {
-	s.mu.Lock()
-	s.retries[c] += n
-	s.mu.Unlock()
-}
+func (s *Stats) AddRetries(c Category, n int64) { s.retries[c].Add(n) }
 
 // AddChecksumFailures records n blocks that failed checksum verification
 // under category c.
-func (s *Stats) AddChecksumFailures(c Category, n int64) {
-	s.mu.Lock()
-	s.ckFails[c] += n
-	s.mu.Unlock()
-}
+func (s *Stats) AddChecksumFailures(c Category, n int64) { s.ckFails[c].Add(n) }
 
 // Reads returns the number of block reads recorded under category c.
-func (s *Stats) Reads(c Category) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.reads[c]
-}
+func (s *Stats) Reads(c Category) int64 { return s.reads[c].Load() }
 
 // Writes returns the number of block writes recorded under category c.
-func (s *Stats) Writes(c Category) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.writes[c]
-}
+func (s *Stats) Writes(c Category) int64 { return s.writes[c].Load() }
 
 // IOs returns reads+writes recorded under category c.
-func (s *Stats) IOs(c Category) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.reads[c] + s.writes[c]
-}
+func (s *Stats) IOs(c Category) int64 { return s.reads[c].Load() + s.writes[c].Load() }
 
 // TotalReads returns the total block reads across all categories.
 func (s *Stats) TotalReads() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var t int64
-	for _, v := range s.reads {
-		t += v
+	for i := range s.reads {
+		t += s.reads[i].Load()
 	}
 	return t
 }
 
 // TotalWrites returns the total block writes across all categories.
 func (s *Stats) TotalWrites() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var t int64
-	for _, v := range s.writes {
-		t += v
+	for i := range s.writes {
+		t += s.writes[i].Load()
 	}
 	return t
 }
@@ -101,67 +77,54 @@ func (s *Stats) TotalWrites() int64 {
 func (s *Stats) TotalIOs() int64 { return s.TotalReads() + s.TotalWrites() }
 
 // Retries returns the retried operations recorded under category c.
-func (s *Stats) Retries(c Category) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.retries[c]
-}
+func (s *Stats) Retries(c Category) int64 { return s.retries[c].Load() }
 
 // ChecksumFailures returns the checksum failures recorded under category c.
-func (s *Stats) ChecksumFailures(c Category) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ckFails[c]
-}
+func (s *Stats) ChecksumFailures(c Category) int64 { return s.ckFails[c].Load() }
 
 // TotalRetries returns retried operations across all categories.
 func (s *Stats) TotalRetries() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var t int64
-	for _, v := range s.retries {
-		t += v
+	for i := range s.retries {
+		t += s.retries[i].Load()
 	}
 	return t
 }
 
 // TotalChecksumFailures returns checksum failures across all categories.
 func (s *Stats) TotalChecksumFailures() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var t int64
-	for _, v := range s.ckFails {
-		t += v
+	for i := range s.ckFails {
+		t += s.ckFails[i].Load()
 	}
 	return t
 }
 
-// Reset zeroes every counter.
+// Reset zeroes every counter. Not for concurrent use with in-flight I/O.
 func (s *Stats) Reset() {
-	s.mu.Lock()
-	s.reads = [numCategories]int64{}
-	s.writes = [numCategories]int64{}
-	s.retries = [numCategories]int64{}
-	s.ckFails = [numCategories]int64{}
-	s.mu.Unlock()
+	for i := 0; i < int(numCategories); i++ {
+		s.reads[i].Store(0)
+		s.writes[i].Store(0)
+		s.retries[i].Store(0)
+		s.ckFails[i].Store(0)
+	}
 }
 
 // Snapshot returns a copy of the per-category counters, keyed by category
 // name, for reporting. Categories with zero activity are omitted.
 func (s *Stats) Snapshot() map[string]IOCount {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := make(map[string]IOCount)
 	for i := 0; i < int(numCategories); i++ {
-		if s.reads[i] == 0 && s.writes[i] == 0 && s.retries[i] == 0 && s.ckFails[i] == 0 {
+		c := IOCount{
+			Reads:            s.reads[i].Load(),
+			Writes:           s.writes[i].Load(),
+			Retries:          s.retries[i].Load(),
+			ChecksumFailures: s.ckFails[i].Load(),
+		}
+		if c.Reads == 0 && c.Writes == 0 && c.Retries == 0 && c.ChecksumFailures == 0 {
 			continue
 		}
-		out[Category(i).String()] = IOCount{
-			Reads:            s.reads[i],
-			Writes:           s.writes[i],
-			Retries:          s.retries[i],
-			ChecksumFailures: s.ckFails[i],
-		}
+		out[Category(i).String()] = c
 	}
 	return out
 }

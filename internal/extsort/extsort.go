@@ -23,16 +23,31 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"nexsort/internal/em"
 )
 
-// Compare is a total order over encoded records.
+// Compare is a total order over encoded records. Comparators must be safe
+// for concurrent use (the library's are pure functions): at parallelism
+// above one, several runs may be sorting on pool workers at once.
 type Compare func(a, b []byte) int
 
 // Sorter sorts byte records within a fixed block budget. Create with New,
 // feed with Add, then call Sort once; the returned iterator yields records
 // in ascending order. Close releases the budget.
+//
+// Run formation is pipelined: when the buffer fills, the full batch is
+// handed to a pooled worker that sorts and spills it while the caller keeps
+// filling the next batch. A worker is admitted only if the environment's
+// pool has a free slot AND the budget can grant a second working set
+// (memBlocks more blocks) — otherwise the run is cut inline, exactly as at
+// parallelism one. Each batch reserves its slot in s.runs before the worker
+// starts, so the run order — and with it every merge decision and the final
+// output — is byte-identical to sequential execution.
+//
+// The Sorter itself is confined to one goroutine (Add/Sort/Close are not
+// concurrent with each other); the parallelism is internal.
 type Sorter struct {
 	env *em.Env
 	cat em.Category
@@ -44,6 +59,13 @@ type Sorter struct {
 	records  [][]byte
 	bufBytes int
 	runs     []*em.Stream
+
+	// Worker bookkeeping. mu guards runs slot assignment, firstErr and
+	// panicVal against the pool workers; wg tracks in-flight batches.
+	mu       sync.Mutex
+	wg       sync.WaitGroup
+	firstErr error
+	panicVal any
 
 	initialRuns  int
 	mergePasses  int
@@ -102,35 +124,121 @@ func (s *Sorter) Add(rec []byte) error {
 	return nil
 }
 
-// cutRun sorts the buffer and writes it as an initial run.
+// cutRun sorts the buffer and writes it as an initial run. The run's slot
+// in s.runs is claimed here, on the calling goroutine, so run order is
+// independent of worker scheduling. If the pool and the budget both admit
+// a background batch, the sort+spill happens on a worker while the caller
+// refills a fresh buffer; otherwise it happens inline, just as at
+// parallelism one. Either way the run's content is the same: the batch is
+// fully formed before the cut, and a run's bytes do not depend on which
+// device blocks the spill happened to allocate.
 func (s *Sorter) cutRun() error {
+	if err := s.err(); err != nil {
+		return err
+	}
 	if len(s.records) == 0 {
 		return nil
 	}
-	sort.Slice(s.records, func(i, j int) bool { return s.cmp(s.records[i], s.records[j]) < 0 })
-	run := em.NewStream(s.env.Dev, s.cat)
-	w, err := run.NewWriter(nil) // accounted under this sorter's grant
+	s.mu.Lock()
+	slot := len(s.runs)
+	s.runs = append(s.runs, nil)
+	s.mu.Unlock()
+	s.initialRuns++
+
+	if s.env.Pool().TryAcquire() {
+		// A background batch duplicates the working set — the worker keeps
+		// the full buffer plus the writer block while the caller fills new
+		// records — so it must win a second grant; under budget pressure
+		// the cut falls back inline, keeping memory within M.
+		if err := s.env.Budget.Grant(s.memBlocks); err != nil {
+			s.env.Pool().Release()
+		} else {
+			recs := s.records
+			s.records = nil
+			s.bufBytes = 0
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer s.env.Pool().Release()
+				defer s.env.Budget.Release(s.memBlocks)
+				defer func() {
+					if r := recover(); r != nil {
+						s.mu.Lock()
+						if s.panicVal == nil {
+							s.panicVal = r
+						}
+						s.mu.Unlock()
+					}
+				}()
+				run, err := s.writeRun(recs)
+				s.mu.Lock()
+				if err != nil {
+					if s.firstErr == nil {
+						s.firstErr = err
+					}
+				} else {
+					s.runs[slot] = run
+				}
+				s.mu.Unlock()
+			}()
+			return nil
+		}
+	}
+
+	run, err := s.writeRun(s.records)
 	if err != nil {
 		return err
 	}
-	var lenBuf [binary.MaxVarintLen64]byte
-	for _, rec := range s.records {
-		n := binary.PutUvarint(lenBuf[:], uint64(len(rec)))
-		if _, err := w.Write(lenBuf[:n]); err != nil {
-			return err
-		}
-		if _, err := w.Write(rec); err != nil {
-			return err
-		}
-	}
-	if err := w.Close(); err != nil {
-		return err
-	}
-	s.runs = append(s.runs, run)
-	s.initialRuns++
+	s.mu.Lock()
+	s.runs[slot] = run
+	s.mu.Unlock()
 	s.records = s.records[:0]
 	s.bufBytes = 0
 	return nil
+}
+
+// writeRun sorts one complete batch and spills it as a length-prefixed run.
+// It touches no Sorter state besides env/cat/cmp, so it is safe on a worker.
+func (s *Sorter) writeRun(records [][]byte) (*em.Stream, error) {
+	sort.Slice(records, func(i, j int) bool { return s.cmp(records[i], records[j]) < 0 })
+	run := em.NewStream(s.env.Dev, s.cat)
+	w, err := run.NewWriter(nil) // accounted under this sorter's grant
+	if err != nil {
+		return nil, err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	for _, rec := range records {
+		n := binary.PutUvarint(lenBuf[:], uint64(len(rec)))
+		if _, err := w.Write(lenBuf[:n]); err != nil {
+			return nil, err
+		}
+		if _, err := w.Write(rec); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return run, nil
+}
+
+// drain waits for every in-flight batch, re-raises a worker panic on the
+// calling goroutine, and returns the first worker error.
+func (s *Sorter) drain() error {
+	s.wg.Wait()
+	return s.err()
+}
+
+// err reports (without waiting) a worker failure recorded so far.
+func (s *Sorter) err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.panicVal != nil {
+		pv := s.panicVal
+		s.panicVal = nil
+		panic(pv)
+	}
+	return s.firstErr
 }
 
 // AddPresortedRun registers an externally produced, already-sorted run of
@@ -147,7 +255,9 @@ func (s *Sorter) AddPresortedRun(run *em.Stream) error {
 	if err := s.cutRun(); err != nil {
 		return err
 	}
+	s.mu.Lock()
 	s.runs = append(s.runs, run)
+	s.mu.Unlock()
 	s.initialRuns++
 	return nil
 }
@@ -160,12 +270,18 @@ func (s *Sorter) Sort() (*Iterator, error) {
 		return nil, fmt.Errorf("extsort: Sort called twice")
 	}
 	s.sorted = true
-	// Fast path: everything fit in memory, no run was ever cut.
+	// Fast path: everything fit in memory, no run was ever cut (and hence
+	// no worker is in flight — workers exist only for cut runs).
 	if len(s.runs) == 0 {
 		sort.Slice(s.records, func(i, j int) bool { return s.cmp(s.records[i], s.records[j]) < 0 })
 		return &Iterator{mem: s.records}, nil
 	}
 	if err := s.cutRun(); err != nil {
+		return nil, err
+	}
+	// All runs must be sealed before merging starts; the merge itself runs
+	// on the calling goroutine with the base grant, as at parallelism one.
+	if err := s.drain(); err != nil {
 		return nil, err
 	}
 	fanIn := s.memBlocks - 1
@@ -257,13 +373,18 @@ func (s *Sorter) Stats() Stats {
 	}
 }
 
-// Close releases the sorter's memory grant.
+// Close releases the sorter's memory grant. In-flight workers are drained
+// first: each worker releases its own batch grant on the way out, so
+// closing mid-flight (the error path) can neither double-release nor leak
+// budget blocks. A worker panic is re-raised here if no earlier call
+// surfaced it; the base grant is still released on that unwind.
 func (s *Sorter) Close() {
 	if s.closed {
 		return
 	}
 	s.closed = true
-	s.env.Budget.Release(s.memBlocks)
+	defer s.env.Budget.Release(s.memBlocks)
+	s.drain() //nolint:errcheck // terminal errors were already surfaced by Add/Sort
 }
 
 // Iterator yields sorted records. Exactly one of mem/run is set.

@@ -25,6 +25,7 @@ package merge
 import (
 	"fmt"
 	"io"
+	"runtime"
 
 	"nexsort/internal/keys"
 	"nexsort/internal/xmltok"
@@ -39,6 +40,21 @@ type Options struct {
 	PreferRight bool
 	// Indent pretty-prints the output; empty writes compact XML.
 	Indent string
+	// Parallelism bounds the merge's goroutines. Above one, each input's
+	// parse+annotate pipeline runs on its own goroutine feeding a bounded
+	// token channel, overlapping the two decoders with the merging
+	// consumer; per-stream token order is unchanged, so the output is
+	// byte-identical to the sequential merge. 0 defaults to GOMAXPROCS;
+	// 1 forces sequential execution.
+	Parallelism int
+}
+
+// parallelism resolves the knob: 0 defaults to GOMAXPROCS.
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Report summarizes a merge.
@@ -66,8 +82,11 @@ func Documents(left, right io.Reader, c *keys.Criterion, out io.Writer, opts Opt
 		}
 	}
 	rep := &Report{}
-	ls := newParserStream(left, c, &rep.ElementsLeft)
-	rs := newParserStream(right, c, &rep.ElementsRight)
+	pipelined := opts.parallelism() > 1
+	ls := newParserStream(left, c, &rep.ElementsLeft, pipelined)
+	defer ls.stop()
+	rs := newParserStream(right, c, &rep.ElementsRight, pipelined)
+	defer rs.stop()
 	var w *xmltok.Writer
 	if opts.Indent != "" {
 		w = xmltok.NewIndentWriter(out, opts.Indent)
@@ -388,35 +407,108 @@ func unionAttrs(a, b []xmltok.Attr, preferRight bool) []xmltok.Attr {
 	return out
 }
 
-// parserStream is a live annotated token stream with lookahead.
+// parserStream is a live annotated token stream with lookahead. With
+// pipelining, the parse+annotate work runs on a producer goroutine ahead
+// of the consumer; fetch order (and so everything the merger sees) is
+// identical either way.
 type parserStream struct {
-	p        *xmltok.Parser
-	a        *keys.Annotator
-	elements *int64
-	peeked   *xmltok.Token
+	fetch   func() (xmltok.Token, error)
+	stopFn  func()
+	peeked  *xmltok.Token
+	peekErr error
 }
 
-func newParserStream(r io.Reader, c *keys.Criterion, elements *int64) *parserStream {
-	return &parserStream{
-		p:        xmltok.NewParser(r, xmltok.DefaultParserOptions()),
-		a:        keys.NewAnnotator(c, nil),
-		elements: elements,
-	}
-}
+// prefetchDepth is the producer's lookahead bound in tokens: deep enough
+// to absorb decode/merge burstiness, small enough that the buffered tokens
+// stay well under one block-sized working set.
+const prefetchDepth = 256
 
-func (s *parserStream) peek() (xmltok.Token, error) {
-	if s.peeked == nil {
-		tok, err := s.p.Next()
+func newParserStream(r io.Reader, c *keys.Criterion, elements *int64, pipelined bool) *parserStream {
+	p := xmltok.NewParser(r, xmltok.DefaultParserOptions())
+	a := keys.NewAnnotator(c, nil)
+	fetch := func() (xmltok.Token, error) {
+		tok, err := p.Next()
 		if err != nil {
 			return xmltok.Token{}, err
 		}
-		if tok, err = s.a.Annotate(tok); err != nil {
+		if tok, err = a.Annotate(tok); err != nil {
 			return xmltok.Token{}, err
 		}
 		if tok.Kind == xmltok.KindStart {
-			*s.elements++
+			*elements++
+		}
+		return tok, nil
+	}
+	s := &parserStream{fetch: fetch, stopFn: func() {}}
+	if pipelined {
+		s.fetch, s.stopFn = prefetch(fetch)
+	}
+	return s
+}
+
+// stop shuts the producer goroutine down (and waits for it), so an early
+// merge error neither leaks the goroutine nor races its report counting.
+// A no-op for sequential streams and after the stream is exhausted.
+func (s *parserStream) stop() { s.stopFn() }
+
+// tokenFetch is one producer result: a token or the stream's terminal error.
+type tokenFetch struct {
+	tok xmltok.Token
+	err error
+}
+
+// prefetch runs fetch on its own goroutine, decoding up to prefetchDepth
+// tokens ahead of the consumer through a bounded channel. Tokens are value
+// types (fresh Attrs per token), so handing them across is safe.
+func prefetch(fetch func() (xmltok.Token, error)) (func() (xmltok.Token, error), func()) {
+	ch := make(chan tokenFetch, prefetchDepth)
+	quit := make(chan struct{})
+	go func() {
+		defer close(ch)
+		for {
+			tok, err := fetch()
+			select {
+			case ch <- tokenFetch{tok: tok, err: err}:
+				if err != nil {
+					return
+				}
+			case <-quit:
+				return
+			}
+		}
+	}()
+	var stopped bool
+	next := func() (xmltok.Token, error) {
+		f, ok := <-ch
+		if !ok {
+			// Fetch past the terminal error: keep reporting end of stream.
+			return xmltok.Token{}, io.EOF
+		}
+		return f.tok, f.err
+	}
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		close(quit)
+		for range ch { // wait for the producer's deferred close
+		}
+	}
+	return next, stop
+}
+
+func (s *parserStream) peek() (xmltok.Token, error) {
+	if s.peeked == nil && s.peekErr == nil {
+		tok, err := s.fetch()
+		if err != nil {
+			s.peekErr = err
+			return xmltok.Token{}, err
 		}
 		s.peeked = &tok
+	}
+	if s.peekErr != nil {
+		return xmltok.Token{}, s.peekErr
 	}
 	return *s.peeked, nil
 }

@@ -10,6 +10,9 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
+echo "==> go test ./..."
+go test ./...
+
 echo "==> go test -race -short ./..."
 go test -race -short ./...
 
