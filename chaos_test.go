@@ -55,6 +55,10 @@ func chaosTrial(t *testing.T, doc []byte, crit *keys.Criterion, tr chaostest.Tri
 		t.Errorf("%v seed=%d: %d budget blocks leaked (err=%v, injected=%v)",
 			tr.Algorithm, tr.Chaos.Seed, o.BudgetInUse, o.Err, o.Injected)
 	}
+	if o.FramesLive != 0 {
+		t.Errorf("%v seed=%d: %d pooled frames leaked (err=%v, injected=%v)",
+			tr.Algorithm, tr.Chaos.Seed, o.FramesLive, o.Err, o.Injected)
+	}
 	return o
 }
 

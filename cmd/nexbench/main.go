@@ -7,14 +7,17 @@
 //	nexbench -exp table1             # the key-path representation demo
 //
 // Experiments: table1, table2, fig5, fig6, fig7, threshold, bounds,
-// ablation, parallel, all. Results print as aligned text tables whose
-// columns match the paper's axes; EXPERIMENTS.md records a reference run
-// next to the paper's numbers. The parallel experiment is not a paper
-// figure: it shows the worker pool's wall-clock speedup at identical
-// block-transfer counts.
+// ablation, parallel, alloc, all. Results print as aligned text tables
+// whose columns match the paper's axes; EXPERIMENTS.md records a reference
+// run next to the paper's numbers. The parallel and alloc experiments are
+// not paper figures: parallel shows the worker pool's wall-clock speedup at
+// identical block-transfer counts, and alloc shows each sorter's heap churn
+// (allocs/op, B/op — the -benchmem columns) under the frame-pool substrate.
+// -json switches every table to one JSON object per line for scripting.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,9 +28,12 @@ import (
 	"nexsort/internal/em"
 )
 
+// jsonOut is set by -json: tables print as JSON objects instead of text.
+var jsonOut bool
+
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|table2|fig5|fig6|fig7|threshold|bounds|ablation|parallel|all")
+		exp       = flag.String("exp", "all", "experiment: table1|table2|fig5|fig6|fig7|threshold|bounds|ablation|parallel|alloc|all")
 		scale     = flag.Float64("scale", 1.0, "input size multiplier (1.0 ≈ seconds per experiment)")
 		scratch   = flag.String("scratch", "", "scratch directory for workloads and spill (default: memory-backed spill, temp-dir workloads)")
 		seed      = flag.Int64("seed", 1, "workload seed")
@@ -35,8 +41,10 @@ func main() {
 		retries   = flag.Int("retries", 0, "retry budget for transiently faulted spill transfers (0 disables)")
 		retryBase = flag.Duration("retry-delay", 0, "backoff before the first retry, doubling per attempt")
 		parallel  = flag.Int("parallel", 0, "worker parallelism for every experiment environment (0 = GOMAXPROCS, 1 = sequential); block-transfer counts are unaffected")
+		jsonFlag  = flag.Bool("json", false, "emit each result table as one JSON object per line instead of aligned text")
 	)
 	flag.Parse()
+	jsonOut = *jsonFlag
 
 	bench.Hardening.VerifyChecksums = *verify
 	bench.Hardening.Retry = em.RetryPolicy{
@@ -153,6 +161,17 @@ func main() {
 			return nil
 		})
 	}
+	if want("alloc") {
+		ran = true
+		run("Allocation profile (frame-pool heap churn)", func() error {
+			rows, err := bench.Alloc(bench.AllocConfig{Scale: s, ScratchDir: dir, Seed: *seed})
+			if err != nil {
+				return err
+			}
+			printTable(bench.AllocTable(rows))
+			return nil
+		})
+	}
 
 	if !ran {
 		fmt.Fprintf(os.Stderr, "nexbench: unknown experiment %q\n", *exp)
@@ -166,10 +185,19 @@ func run(title string, f func() error) {
 	if err := f(); err != nil {
 		fatal(fmt.Errorf("%s: %w", title, err))
 	}
-	fmt.Printf("(%s completed in %.1fs)\n\n", title, time.Since(start).Seconds())
+	if !jsonOut {
+		fmt.Printf("(%s completed in %.1fs)\n\n", title, time.Since(start).Seconds())
+	}
 }
 
 func printTable(t *bench.Table) {
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(t); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	fmt.Println(strings.Repeat("=", 72))
 	if err := t.Fprint(os.Stdout); err != nil {
 		fatal(err)

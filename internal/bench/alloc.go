@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"testing"
+
+	"nexsort/internal/gen"
+)
+
+// AllocConfig parameterizes the allocation-profile experiment.
+type AllocConfig struct {
+	Scale      Scale
+	ScratchDir string
+	// MemBlocks fixes the memory budget (default 48 blocks, the Figure 6
+	// setting).
+	MemBlocks int
+	Seed      int64
+}
+
+// AllocRow is one measured pipeline: a complete sort of the workload run
+// under Go's benchmark machinery with allocation tracking on — the
+// -benchmem columns (allocs/op, B/op) for an "op" that is one whole sort.
+type AllocRow struct {
+	Name        string
+	Elements    int64
+	NsPerOp     int64
+	AllocsPerOp int64
+	BytesPerOp  int64
+	// AllocsPerElement normalizes heap churn by input size: with the frame
+	// pool recycling every block buffer, this should stay O(1) per node
+	// (token/record decode) rather than grow with buffer traffic.
+	AllocsPerElement float64
+}
+
+// Alloc measures the steady-state heap churn of both sorters end to end.
+// It is not a paper experiment: the paper counts block transfers, not
+// allocator pressure. It exists because the frame-pool substrate trades
+// per-buffer make calls for pooled reuse, and this is the harness-level
+// check that the trade actually lands (see DESIGN.md §10). Runs are pinned
+// to parallelism 1 so allocs/op is a stable, comparable figure.
+func Alloc(cfg AllocConfig) ([]AllocRow, error) {
+	mem := cfg.MemBlocks
+	if mem == 0 {
+		mem = 48
+	}
+	spec := gen.IBMSpec{
+		Height:      11,
+		MaxFanout:   6,
+		MaxElements: cfg.Scale.n(30000),
+		Seed:        cfg.Seed + 9,
+	}
+	w, err := GenerateWorkload(spec, cfg.ScratchDir, "alloc.xml")
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+
+	var rows []AllocRow
+	for _, algo := range []Algo{AlgoNEXSORT, AlgoMergeSort} {
+		var elements int64
+		var runErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N && runErr == nil; i++ {
+				r, err := Run(w, Params{
+					Algo: algo, BlockSize: DefaultBlockSize, MemBlocks: mem,
+					Compact: true, ScratchDir: cfg.ScratchDir, Parallelism: 1,
+				})
+				if err != nil {
+					runErr = err
+					return
+				}
+				elements = r.Elements
+			}
+		})
+		if runErr != nil {
+			return nil, runErr
+		}
+		row := AllocRow{
+			Name:        algo.String(),
+			Elements:    elements,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		if elements > 0 {
+			row.AllocsPerElement = float64(row.AllocsPerOp) / float64(elements)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AllocTable renders the allocation profile.
+func AllocTable(rows []AllocRow) *Table {
+	t := &Table{
+		Title:  "Allocation profile — one op = one complete sort (frame-pool check, not a paper figure)",
+		Header: []string{"algorithm", "elements", "ms/op", "allocs/op", "B/op", "allocs/elem"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Name, d64(r.Elements),
+			f2(float64(r.NsPerOp) / 1e6),
+			d64(r.AllocsPerOp), d64(r.BytesPerOp),
+			f3(r.AllocsPerElement),
+		})
+	}
+	return t
+}

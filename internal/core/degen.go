@@ -58,7 +58,7 @@ func (s *sorter) cutIncompleteRun(rec pathRec) error {
 	if err != nil {
 		return err
 	}
-	src := tokenSource{r: reader}
+	src := &tokenSource{r: reader}
 	var nodes []*xmltree.Node
 	for {
 		node, last, err := nextChildNode(src)

@@ -63,6 +63,7 @@ func keyPathSortTokens(env *em.Env, src xmltree.TokenSource, relLimit int, w *ru
 	}
 	defer it.Close()
 	builder := keypath.NewBuilder(w.WriteToken)
+	var recDec keypath.Decoder
 	for {
 		raw, err := it.Next()
 		if err == io.EOF {
@@ -71,7 +72,7 @@ func keyPathSortTokens(env *em.Env, src xmltree.TokenSource, relLimit int, w *ru
 		if err != nil {
 			return err
 		}
-		rec, err := keypath.ReadRecord(&sliceCursor{buf: raw})
+		rec, err := recDec.ReadRecord(&sliceCursor{buf: raw})
 		if err != nil {
 			return err
 		}
@@ -103,8 +104,9 @@ func (s *sorter) buildKeySidecar(start int64) (*keySidecar, error) {
 	var openPre []int64 // preorder indices of open elements (O(depth))
 	pre := int64(0)
 	var rec []byte
+	var dec xmltok.Decoder
 	for {
-		tok, err := xmltok.ReadToken(reader)
+		tok, err := dec.ReadToken(reader)
 		if err == io.EOF {
 			break
 		}
@@ -166,7 +168,7 @@ func (k *keySidecar) Close() {
 // keyedSource zips sidecar keys onto the start tags of a second subtree
 // scan, so key-path extraction sees a start-resolvable stream.
 type keyedSource struct {
-	inner   tokenSource
+	inner   *tokenSource
 	sidecar *keySidecar
 	pre     int64
 }
@@ -248,6 +250,7 @@ func drainChildRecords(sorter *extsort.Sorter, w *runstore.Writer) error {
 		return err
 	}
 	defer it.Close()
+	var dec xmltok.Decoder
 	for {
 		raw, err := it.Next()
 		if err == io.EOF {
@@ -262,7 +265,7 @@ func drainChildRecords(sorter *extsort.Sorter, w *runstore.Writer) error {
 			return fmt.Errorf("core: corrupt child record: %w", err)
 		}
 		for {
-			tok, err := xmltok.ReadToken(cur)
+			tok, err := dec.ReadToken(cur)
 			if err == io.EOF {
 				break
 			}
@@ -276,7 +279,7 @@ func drainChildRecords(sorter *extsort.Sorter, w *runstore.Writer) error {
 	}
 }
 
-// sliceCursor is an io.ByteReader over a byte slice.
+// sliceCursor is an io.ByteReader and io.Reader over a byte slice.
 type sliceCursor struct {
 	buf []byte
 	pos int
@@ -289,6 +292,15 @@ func (c *sliceCursor) ReadByte() (byte, error) {
 	b := c.buf[c.pos]
 	c.pos++
 	return b, nil
+}
+
+func (c *sliceCursor) Read(p []byte) (int, error) {
+	if c.pos >= len(c.buf) {
+		return 0, io.EOF
+	}
+	n := copy(p, c.buf[c.pos:])
+	c.pos += n
+	return n, nil
 }
 
 func readCursorString(c *sliceCursor) string {

@@ -34,7 +34,8 @@ func (s *sorter) outputPhase(root runstore.RunID, out io.Writer) error {
 	}
 	defer budget.Release(1)
 
-	cw := em.NewCountingWriter(out, s.env.Conf.BlockSize, s.env.Stats, em.CatOutput)
+	cw := em.NewCountingWriter(out, s.env.Dev, em.CatOutput)
+	defer cw.Close()
 	var xw *xmltok.Writer
 	if s.opts.Indent != "" {
 		xw = xmltok.NewIndentWriter(cw, s.opts.Indent)

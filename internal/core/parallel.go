@@ -131,6 +131,7 @@ func (s *sorter) tryDispatchSubtreeSort(start, size int64, relLimit int) (runsto
 	// charge it again.
 	runID, w, err := s.store.Create(em.CatSubtreeSort, nil)
 	if err != nil {
+		snap.release(s.env.Dev.Frames())
 		s.releaseWorker(held)
 		pool.Release()
 		return 0, false, err
@@ -140,6 +141,10 @@ func (s *sorter) tryDispatchSubtreeSort(start, size int64, relLimit int) (runsto
 		defer s.par.wg.Done()
 		defer pool.Release()
 		defer s.releaseWorker(held)
+		// Frames return to the pool before the blocks that covered them
+		// return to the budget (defers run last-in first-out), keeping
+		// live-frames <= blocks-in-use at every instant.
+		defer snap.release(s.env.Dev.Frames())
 		defer func() {
 			if r := recover(); r != nil {
 				s.par.mu.Lock()
@@ -164,28 +169,81 @@ func (s *sorter) tryDispatchSubtreeSort(start, size int64, relLimit int) (runsto
 	return runID, true, nil
 }
 
-// snapshotRange copies the data-stack range [start, Size()) into memory on
-// the calling goroutine. The reads are charged exactly as the sequential
-// in-memory sort's ReadRange pass, so dispatching changes no counter.
-func (s *sorter) snapshotRange(start, size int64) ([]byte, error) {
+// snapshotRange copies the data-stack range [start, Size()) into a chain of
+// pooled frames on the calling goroutine — the `blocks` share of the
+// worker's grant pins exactly that many frames. The reads are charged
+// exactly as the sequential in-memory sort's ReadRange pass, so dispatching
+// changes no counter.
+func (s *sorter) snapshotRange(start, size int64) (*frameChain, error) {
 	reader, err := s.data.ReadRange(s.env.Budget, start)
 	if err != nil {
 		return nil, err
 	}
 	defer reader.Close()
-	buf := make([]byte, size)
-	if _, err := io.ReadFull(reader, buf); err != nil {
-		return nil, err
+	pool := s.env.Dev.Frames()
+	chain := &frameChain{size: size, fsize: int64(pool.FrameSize())}
+	for off := int64(0); off < size; off += chain.fsize {
+		f := pool.Acquire()
+		chain.frames = append(chain.frames, f)
+		n := chain.fsize
+		if rest := size - off; rest < n {
+			n = rest
+		}
+		if _, err := io.ReadFull(reader, f.Bytes()[:n]); err != nil {
+			chain.release(pool)
+			return nil, err
+		}
 	}
-	return buf, nil
+	return chain, nil
+}
+
+// frameChain is a worker's private subtree snapshot: the encoded bytes
+// pinned across budget-backed frames instead of one variable-sized heap
+// slab, read back like a sliceCursor spanning the chain.
+type frameChain struct {
+	frames []em.Frame
+	size   int64
+	fsize  int64
+	pos    int64
+}
+
+func (c *frameChain) ReadByte() (byte, error) {
+	if c.pos >= c.size {
+		return 0, io.EOF
+	}
+	b := c.frames[c.pos/c.fsize].Bytes()[c.pos%c.fsize]
+	c.pos++
+	return b, nil
+}
+
+func (c *frameChain) Read(p []byte) (int, error) {
+	if c.pos >= c.size {
+		return 0, io.EOF
+	}
+	frame := c.frames[c.pos/c.fsize].Bytes()
+	off := c.pos % c.fsize
+	chunk := c.fsize - off
+	if rest := c.size - c.pos; rest < chunk {
+		chunk = rest
+	}
+	n := copy(p, frame[off:off+chunk])
+	c.pos += int64(n)
+	return n, nil
+}
+
+func (c *frameChain) release(pool *em.FramePool) {
+	for _, f := range c.frames {
+		pool.Release(f)
+	}
+	c.frames = nil
 }
 
 // sortSnapshot is the worker body: rebuild the subtree from its encoded
 // snapshot, sort it recursively, and stream it into the run. It is the
 // exact computation of internalSubtreeSort with the stack read replaced by
 // the in-memory snapshot.
-func sortSnapshot(snap []byte, relLimit int, w *runstore.Writer) error {
-	tree, err := xmltree.FromTokens(tokenSource{r: &sliceCursor{buf: snap}})
+func sortSnapshot(snap *frameChain, relLimit int, w *runstore.Writer) error {
+	tree, err := xmltree.FromTokens(&tokenSource{r: snap})
 	if err != nil {
 		return fmt.Errorf("core: rebuilding subtree: %w", err)
 	}

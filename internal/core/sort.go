@@ -168,7 +168,8 @@ func (s *sorter) sortingPhase(in io.Reader) (root runstore.RunID, err error) {
 	}
 	defer budget.Release(1)
 
-	cr := em.NewCountingReader(in, s.env.Conf.BlockSize, s.env.Stats, em.CatInput)
+	cr := em.NewCountingReader(in, s.env.Dev, em.CatInput)
+	defer cr.Close()
 	parser := xmltok.NewParser(cr, xmltok.DefaultParserOptions())
 	var stamper *orderStamper
 	if s.opts.RecordOrder != "" {
@@ -298,9 +299,11 @@ func (o *orderStamper) stamp(tok xmltok.Token) xmltok.Token {
 	return tok
 }
 
-// tokenSource adapts a byte reader of encoded tokens to xmltree.TokenSource.
+// tokenSource adapts a byte reader of encoded tokens to xmltree.TokenSource,
+// holding one decoder so the decode scratch is reused across the stream.
 type tokenSource struct {
-	r io.ByteReader
+	r   io.ByteReader
+	dec xmltok.Decoder
 }
 
-func (t tokenSource) Next() (xmltok.Token, error) { return xmltok.ReadToken(t.r) }
+func (t *tokenSource) Next() (xmltok.Token, error) { return t.dec.ReadToken(t.r) }

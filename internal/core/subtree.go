@@ -140,8 +140,9 @@ func (s *sorter) copySubtree(start int64, w *runstore.Writer) error {
 		return err
 	}
 	defer reader.Close()
+	var dec xmltok.Decoder
 	for {
-		tok, err := xmltok.ReadToken(reader)
+		tok, err := dec.ReadToken(reader)
 		if err == io.EOF {
 			return nil
 		}
@@ -173,7 +174,7 @@ func (s *sorter) internalSubtreeSort(start, size int64, relLimit int, w *runstor
 	}
 	defer reader.Close()
 
-	tree, err := xmltree.FromTokens(tokenSource{r: reader})
+	tree, err := xmltree.FromTokens(&tokenSource{r: reader})
 	if err != nil {
 		return fmt.Errorf("core: rebuilding subtree: %w", err)
 	}
@@ -203,7 +204,7 @@ func (s *sorter) externalSubtreeSort(start int64, relLimit int, w *runstore.Writ
 			return err
 		}
 		defer reader.Close()
-		return keyPathSortTokens(s.env, tokenSource{r: reader}, relLimit, w)
+		return keyPathSortTokens(s.env, &tokenSource{r: reader}, relLimit, w)
 	}
 
 	sidecar, err := s.buildKeySidecar(start)
@@ -216,7 +217,7 @@ func (s *sorter) externalSubtreeSort(start int64, relLimit int, w *runstore.Writ
 		return err
 	}
 	defer reader.Close()
-	keyed := &keyedSource{inner: tokenSource{r: reader}, sidecar: sidecar}
+	keyed := &keyedSource{inner: &tokenSource{r: reader}, sidecar: sidecar}
 	return keyPathSortTokens(s.env, keyed, relLimit, w)
 }
 
@@ -248,7 +249,7 @@ func (s *sorter) mergedSubtreeSort(rec pathRec, endTok xmltok.Token, incRuns []*
 	if err != nil {
 		return err
 	}
-	src := tokenSource{r: reader}
+	src := &tokenSource{r: reader}
 
 	startTok, err := src.Next()
 	if err != nil {
@@ -329,7 +330,7 @@ func sortChildInterior(node *xmltree.Node, relLimit int) {
 
 // nextChildNode reads the next complete child subtree from a sibling-level
 // token stream. last=true signals the parent's end tag (or stream end).
-func nextChildNode(src tokenSource) (node *xmltree.Node, last bool, err error) {
+func nextChildNode(src *tokenSource) (node *xmltree.Node, last bool, err error) {
 	tok, err := src.Next()
 	if err == io.EOF {
 		return nil, true, nil

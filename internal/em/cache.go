@@ -1,0 +1,106 @@
+package em
+
+import (
+	"container/list"
+	"sync"
+)
+
+// blockCache is the opt-in clean-frame LRU cache behind Config.CacheBlocks:
+// a bounded set of recently read blocks held in frames so that repeat
+// ReadBlocks — stack page-ins below the resident window, run re-opens
+// during the output phase — are served from memory instead of the backend.
+//
+// The cache is strictly an I/O eliminator, never a write buffer: every
+// entry is a clean copy of what the backend holds (writes update an
+// existing entry in place but never defer the backend write), so dropping
+// the cache at any moment loses nothing. With the cache disabled (the
+// default) the device's behaviour is byte-for-byte what it was without
+// this type existing; the paper's I/O counts stay faithful.
+//
+// Capacity is accounted against the budget by the environment — cache
+// memory is part of M, not free slack — and the frames come from the
+// device's pool, so cached blocks show up in the frame-conformance
+// invariant like every other buffer.
+type blockCache struct {
+	mu   sync.Mutex
+	cap  int
+	pool *FramePool
+	ents map[int64]*list.Element
+	lru  list.List // front = most recently used
+}
+
+// cacheEntry is one cached block.
+type cacheEntry struct {
+	id    int64
+	frame Frame
+}
+
+func newBlockCache(capacity int, pool *FramePool) *blockCache {
+	return &blockCache{cap: capacity, pool: pool, ents: make(map[int64]*list.Element, capacity)}
+}
+
+// get copies block id into dst if cached, promoting it to most recently
+// used. It reports whether the block was found.
+func (c *blockCache) get(id int64, dst []byte) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.ents[id]
+	if !ok {
+		return false
+	}
+	c.lru.MoveToFront(el)
+	copy(dst, el.Value.(*cacheEntry).frame.Bytes())
+	return true
+}
+
+// put inserts a clean copy of block id, evicting the least recently used
+// entry when full (its frame is reused for the new entry).
+func (c *blockCache) put(id int64, p []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.ents[id]; ok {
+		c.lru.MoveToFront(el)
+		copy(el.Value.(*cacheEntry).frame.Bytes(), p)
+		return
+	}
+	var ent *cacheEntry
+	if c.lru.Len() >= c.cap {
+		el := c.lru.Back()
+		ent = el.Value.(*cacheEntry)
+		delete(c.ents, ent.id)
+		c.lru.Remove(el)
+	} else {
+		ent = &cacheEntry{frame: c.pool.Acquire()}
+	}
+	ent.id = id
+	copy(ent.frame.Bytes(), p)
+	c.ents[id] = c.lru.PushFront(ent)
+}
+
+// update refreshes an existing entry for id in place; a write to an
+// uncached block changes nothing.
+func (c *blockCache) update(id int64, p []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.ents[id]; ok {
+		copy(el.Value.(*cacheEntry).frame.Bytes(), p)
+	}
+}
+
+// frames returns how many frames the cache currently holds.
+func (c *blockCache) frames() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// drop releases every cached frame back to the pool.
+func (c *blockCache) drop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		c.pool.Release(el.Value.(*cacheEntry).frame)
+	}
+	c.lru.Init()
+	c.ents = map[int64]*list.Element{}
+}

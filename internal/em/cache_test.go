@@ -1,0 +1,113 @@
+package em
+
+import (
+	"bytes"
+	"testing"
+)
+
+func cacheTestDevice(t *testing.T, blockSize, cacheBlocks int) (*Device, *Stats) {
+	t.Helper()
+	stats := NewStats()
+	d := NewDevice(NewMemBackend(), blockSize, stats)
+	d.EnableCache(cacheBlocks)
+	t.Cleanup(func() { d.Close() })
+	return d, stats
+}
+
+func TestBlockCacheHitsSkipReads(t *testing.T) {
+	d, stats := cacheTestDevice(t, 8, 2)
+	id := d.AllocBlock()
+	want := []byte("abcdefgh")
+	if err := d.WriteBlock(CatScratch, id, want); err != nil {
+		t.Fatal(err)
+	}
+
+	buf := make([]byte, 8)
+	if err := d.ReadBlock(CatScratch, id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reads(CatScratch) != 1 || stats.CacheMisses(CatScratch) != 1 {
+		t.Fatalf("first read: reads=%d misses=%d, want 1/1",
+			stats.Reads(CatScratch), stats.CacheMisses(CatScratch))
+	}
+
+	clear(buf)
+	if err := d.ReadBlock(CatScratch, id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Errorf("cached read returned %q, want %q", buf, want)
+	}
+	if stats.Reads(CatScratch) != 1 {
+		t.Errorf("repeat read charged a block transfer: reads = %d, want 1", stats.Reads(CatScratch))
+	}
+	if stats.CacheHits(CatScratch) != 1 {
+		t.Errorf("hits = %d, want 1", stats.CacheHits(CatScratch))
+	}
+}
+
+func TestBlockCacheWriteUpdatesInPlace(t *testing.T) {
+	d, stats := cacheTestDevice(t, 4, 1)
+	id := d.AllocBlock()
+	buf := make([]byte, 4)
+	if err := d.WriteBlock(CatScratch, id, []byte("old!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadBlock(CatScratch, id, buf); err != nil { // populate cache
+		t.Fatal(err)
+	}
+	if err := d.WriteBlock(CatScratch, id, []byte("new!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadBlock(CatScratch, id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "new!" {
+		t.Errorf("read-after-write through cache = %q, want \"new!\"", buf)
+	}
+	if stats.CacheHits(CatScratch) != 1 {
+		t.Errorf("hits = %d, want 1 (updated entry must stay resident)", stats.CacheHits(CatScratch))
+	}
+	if stats.Writes(CatScratch) != 2 {
+		t.Errorf("writes = %d, want 2 (cache must not absorb write transfers)", stats.Writes(CatScratch))
+	}
+}
+
+func TestBlockCacheEvictsLRU(t *testing.T) {
+	d, stats := cacheTestDevice(t, 4, 2)
+	ids := []int64{d.AllocBlock(), d.AllocBlock(), d.AllocBlock()}
+	buf := make([]byte, 4)
+	for i, id := range ids {
+		if err := d.WriteBlock(CatScratch, id, []byte{byte(i), 0, 0, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read := func(id int64) {
+		t.Helper()
+		if err := d.ReadBlock(CatScratch, id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read(ids[0])
+	read(ids[1])
+	read(ids[2]) // evicts ids[0], reusing its frame
+	if got := d.CacheFrames(); got != 2 {
+		t.Fatalf("cache holds %d frames, want capacity 2", got)
+	}
+	read(ids[0]) // miss again
+	if stats.CacheHits(CatScratch) != 0 {
+		t.Errorf("hits = %d, want 0 (every read was a first touch or post-eviction)", stats.CacheHits(CatScratch))
+	}
+	read(ids[2]) // still resident: touched after ids[0]'s eviction
+	if stats.CacheHits(CatScratch) != 1 {
+		t.Errorf("hits = %d, want 1", stats.CacheHits(CatScratch))
+	}
+	// The cache's frames come from the device pool and return on Close.
+	if d.Frames().Live() != 2 {
+		t.Errorf("live frames = %d, want 2 (the cache's residents)", d.Frames().Live())
+	}
+	d.Close()
+	if d.Frames().Live() != 0 {
+		t.Errorf("frames still live after Close: %d", d.Frames().Live())
+	}
+}

@@ -80,6 +80,10 @@ type Outcome struct {
 	// BudgetInUse is the number of memory-budget blocks still granted
 	// after the sort returned — any nonzero value is a leak.
 	BudgetInUse int
+	// FramesLive is the number of pooled block frames still pinned after
+	// the sort returned — any nonzero value means an error path dropped a
+	// frame instead of releasing it.
+	FramesLive int
 	// Injected is the chaos backend's per-kind fault tally.
 	Injected map[string]int64
 	// Stats is the environment's I/O accounting (retries, checksum
@@ -130,6 +134,7 @@ func Run(doc []byte, crit *keys.Criterion, t Trial) *Outcome {
 		out.Output = buf.Bytes()
 	}
 	out.BudgetInUse = env.Budget.InUse()
+	out.FramesLive = env.Dev.Frames().Live()
 	if chaos != nil {
 		out.Injected = chaos.Injected()
 	} else {
@@ -169,6 +174,9 @@ func Baseline(doc []byte, crit *keys.Criterion, algo Algorithm, envCfg em.Config
 	}
 	if o.BudgetInUse != 0 {
 		panic(fmt.Sprintf("chaostest: fault-free %v baseline leaked %d budget blocks", algo, o.BudgetInUse))
+	}
+	if o.FramesLive != 0 {
+		panic(fmt.Sprintf("chaostest: fault-free %v baseline leaked %d frames", algo, o.FramesLive))
 	}
 	return o.Output
 }

@@ -42,7 +42,12 @@ type ChecksumBackend struct {
 	blockSize int
 	stats     *Stats
 
-	pool sync.Pool // scratch physical-record buffers
+	// scratch recycles physical-record buffers (blockSize+trailer). The
+	// records are wider than a logical block, so this layer keeps its own
+	// FramePool rather than borrowing the device's; like the backend's
+	// extent tables, the handful of concurrently live records sit below
+	// the block abstraction and outside the budget's M (DESIGN.md §7).
+	scratch *FramePool
 
 	// written records which logical blocks a write was ever attempted on.
 	// Scratch devices live and die with the process, so this in-memory
@@ -61,12 +66,13 @@ func NewChecksumBackend(inner Backend, blockSize int, stats *Stats) *ChecksumBac
 	if blockSize <= 0 {
 		panic("em: checksum backend needs a positive block size")
 	}
-	b := &ChecksumBackend{inner: inner, blockSize: blockSize, stats: stats, written: make(map[int64]struct{})}
-	b.pool.New = func() any {
-		buf := make([]byte, blockSize+checksumTrailerLen)
-		return &buf
+	return &ChecksumBackend{
+		inner:     inner,
+		blockSize: blockSize,
+		stats:     stats,
+		scratch:   NewFramePool(blockSize + checksumTrailerLen),
+		written:   make(map[int64]struct{}),
 	}
-	return b
 }
 
 // physOff maps a logical block-aligned offset to the physical offset of
@@ -100,9 +106,9 @@ func (b *ChecksumBackend) ReadAtCat(p []byte, off int64, c Category) (int, error
 	if err := b.checkAligned(p, off); err != nil {
 		return 0, err
 	}
-	bufp := b.pool.Get().(*[]byte)
-	defer b.pool.Put(bufp)
-	buf := *bufp
+	frame := b.scratch.Acquire()
+	defer b.scratch.Release(frame)
+	buf := frame.Bytes()
 
 	if _, err := readAtCat(b.inner, buf, b.physOff(off), c); err != nil {
 		return 0, err
@@ -149,9 +155,9 @@ func (b *ChecksumBackend) WriteAtCat(p []byte, off int64, c Category) (int, erro
 	if err := b.checkAligned(p, off); err != nil {
 		return 0, err
 	}
-	bufp := b.pool.Get().(*[]byte)
-	defer b.pool.Put(bufp)
-	buf := *bufp
+	frame := b.scratch.Acquire()
+	defer b.scratch.Release(frame)
+	buf := frame.Bytes()
 
 	copy(buf, p)
 	binary.LittleEndian.PutUint32(buf[b.blockSize:], crc32.Checksum(p, castagnoli))

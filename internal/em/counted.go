@@ -1,58 +1,111 @@
 package em
 
 import (
-	"bufio"
+	"fmt"
 	"io"
 )
 
 // CountingReader wraps an io.Reader (typically the input XML file) and
 // charges one block read to a Stats category per blockSize bytes consumed,
 // so the initial scan of the input shows up in the I/O accounting just as it
-// does in the paper's model. Buffering is a single block, consistent with a
-// sequential one-block-at-a-time scan.
+// does in the paper's model. Buffering is a single frame from the device's
+// pool, consistent with a sequential one-block-at-a-time scan; Close
+// recycles it, so a reader's buffer participates in the frame accounting
+// like every other block buffer.
 type CountingReader struct {
-	br        *bufio.Reader
-	stats     *Stats
-	cat       Category
-	blockSize int
-	residual  int // bytes consumed since the last charged block
-	total     int64
+	r     io.Reader
+	dev   *Device
+	stats *Stats
+	cat   Category
+
+	frame      Frame
+	buf        []byte
+	start, end int   // unconsumed window of buf
+	err        error // sticky error from the underlying reader
+
+	residual int // bytes consumed since the last charged block
+	total    int64
+	closed   bool
 }
 
-// NewCountingReader wraps r, charging to stats under cat at blockSize
-// granularity.
-func NewCountingReader(r io.Reader, blockSize int, stats *Stats, cat Category) *CountingReader {
+// NewCountingReader wraps r, buffering through one frame of dev and
+// charging reads to dev's stats under cat at block granularity. Call Close
+// when the scan is done to recycle the frame.
+func NewCountingReader(r io.Reader, dev *Device, cat Category) *CountingReader {
+	frame := dev.Frames().Acquire()
 	return &CountingReader{
-		br:        bufio.NewReaderSize(r, blockSize),
-		stats:     stats,
-		cat:       cat,
-		blockSize: blockSize,
+		r:     r,
+		dev:   dev,
+		stats: dev.Stats(),
+		cat:   cat,
+		frame: frame,
+		buf:   frame.Bytes(),
 	}
 }
 
 func (c *CountingReader) charge(n int) {
 	c.total += int64(n)
 	c.residual += n
-	for c.residual >= c.blockSize {
+	for c.residual >= len(c.buf) {
 		c.stats.AddReads(c.cat, 1)
-		c.residual -= c.blockSize
+		c.residual -= len(c.buf)
 	}
+}
+
+// fill refreshes the buffer window from the underlying reader. On return
+// either the window is non-empty or the sticky error is set.
+func (c *CountingReader) fill() error {
+	if c.start < c.end {
+		return nil
+	}
+	if c.err != nil {
+		return c.err
+	}
+	for range [100]struct{}{} {
+		n, err := c.r.Read(c.buf)
+		if n > 0 {
+			c.start, c.end = 0, n
+			c.err = err // delivered with the last buffered bytes
+			return nil
+		}
+		if err != nil {
+			c.err = err
+			return err
+		}
+	}
+	c.err = io.ErrNoProgress
+	return c.err
 }
 
 // Read implements io.Reader.
 func (c *CountingReader) Read(p []byte) (int, error) {
-	n, err := c.br.Read(p)
+	if c.closed {
+		return 0, fmt.Errorf("em: read from closed CountingReader")
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if err := c.fill(); err != nil {
+		return 0, err
+	}
+	n := copy(p, c.buf[c.start:c.end])
+	c.start += n
 	c.charge(n)
-	return n, err
+	return n, nil
 }
 
 // ReadByte implements io.ByteReader.
 func (c *CountingReader) ReadByte() (byte, error) {
-	b, err := c.br.ReadByte()
-	if err == nil {
-		c.charge(1)
+	if c.closed {
+		return 0, fmt.Errorf("em: read from closed CountingReader")
 	}
-	return b, err
+	if err := c.fill(); err != nil {
+		return 0, err
+	}
+	b := c.buf[c.start]
+	c.start++
+	c.charge(1)
+	return b, nil
 }
 
 // Finish charges the final partial block, if any. Call once at end of scan.
@@ -66,49 +119,133 @@ func (c *CountingReader) Finish() {
 // BytesRead returns the total bytes consumed so far.
 func (c *CountingReader) BytesRead() int64 { return c.total }
 
-// CountingWriter wraps an io.Writer (typically the output document file) and
-// charges one block write per blockSize bytes produced.
-type CountingWriter struct {
-	bw        *bufio.Writer
-	stats     *Stats
-	cat       Category
-	blockSize int
-	residual  int
-	total     int64
+// Close recycles the buffer frame. Idempotent; further reads fail.
+func (c *CountingReader) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.dev.Frames().Release(c.frame)
+	c.buf = nil
+	c.start, c.end = 0, 0
+	return nil
 }
 
-// NewCountingWriter wraps w, charging to stats under cat at blockSize
-// granularity.
-func NewCountingWriter(w io.Writer, blockSize int, stats *Stats, cat Category) *CountingWriter {
+// CountingWriter wraps an io.Writer (typically the output document file) and
+// charges one block write per blockSize bytes produced, buffering through
+// one frame of the device's pool. Call Flush when the document is complete
+// and Close to recycle the frame.
+type CountingWriter struct {
+	w     io.Writer
+	dev   *Device
+	stats *Stats
+	cat   Category
+
+	frame Frame
+	buf   []byte
+	used  int
+
+	residual int
+	total    int64
+	closed   bool
+}
+
+// NewCountingWriter wraps w, buffering through one frame of dev and
+// charging writes to dev's stats under cat at block granularity.
+func NewCountingWriter(w io.Writer, dev *Device, cat Category) *CountingWriter {
+	frame := dev.Frames().Acquire()
 	return &CountingWriter{
-		bw:        bufio.NewWriterSize(w, blockSize),
-		stats:     stats,
-		cat:       cat,
-		blockSize: blockSize,
+		w:     w,
+		dev:   dev,
+		stats: dev.Stats(),
+		cat:   cat,
+		frame: frame,
+		buf:   frame.Bytes(),
 	}
+}
+
+func (c *CountingWriter) charge(n int) {
+	c.total += int64(n)
+	c.residual += n
+	for c.residual >= len(c.buf) {
+		c.stats.AddWrites(c.cat, 1)
+		c.residual -= len(c.buf)
+	}
+}
+
+// flushBuf drains the buffered bytes to the underlying writer.
+func (c *CountingWriter) flushBuf() error {
+	if c.used == 0 {
+		return nil
+	}
+	n, err := c.w.Write(c.buf[:c.used])
+	if err == nil && n < c.used {
+		err = io.ErrShortWrite
+	}
+	c.used = 0
+	return err
 }
 
 // Write implements io.Writer.
 func (c *CountingWriter) Write(p []byte) (int, error) {
-	n, err := c.bw.Write(p)
-	c.total += int64(n)
-	c.residual += n
-	for c.residual >= c.blockSize {
-		c.stats.AddWrites(c.cat, 1)
-		c.residual -= c.blockSize
+	if c.closed {
+		return 0, fmt.Errorf("em: write to closed CountingWriter")
 	}
-	return n, err
+	total := 0
+	for len(p) > 0 {
+		if c.used == 0 && len(p) >= len(c.buf) {
+			// A full block (or more) with nothing buffered: hand the
+			// leading whole blocks straight to the writer, no copy.
+			whole := len(p) - len(p)%len(c.buf)
+			n, err := c.w.Write(p[:whole])
+			c.charge(n)
+			total += n
+			if err != nil {
+				return total, err
+			}
+			p = p[whole:]
+			continue
+		}
+		n := copy(c.buf[c.used:], p)
+		c.used += n
+		c.charge(n)
+		total += n
+		p = p[n:]
+		if c.used == len(c.buf) {
+			if err := c.flushBuf(); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
 }
 
 // Flush drains buffered bytes to the underlying writer and charges the final
 // partial block, if any. Call once when the document is complete.
 func (c *CountingWriter) Flush() error {
+	if c.closed {
+		return fmt.Errorf("em: flush of closed CountingWriter")
+	}
 	if c.residual > 0 {
 		c.stats.AddWrites(c.cat, 1)
 		c.residual = 0
 	}
-	return c.bw.Flush()
+	return c.flushBuf()
 }
 
 // BytesWritten returns the total bytes produced so far.
 func (c *CountingWriter) BytesWritten() int64 { return c.total }
+
+// Close recycles the buffer frame without flushing (call Flush first on the
+// success path; on error paths the partial tail is deliberately dropped).
+// Idempotent; further writes fail.
+func (c *CountingWriter) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.dev.Frames().Release(c.frame)
+	c.buf = nil
+	c.used = 0
+	return nil
+}

@@ -21,9 +21,11 @@ import (
 type Device struct {
 	blockSize int
 	stats     *Stats
+	frames    *FramePool
 
 	mu        sync.Mutex
 	backend   Backend
+	cache     *blockCache
 	nextBlock int64
 	closed    bool
 }
@@ -37,7 +39,7 @@ func NewDevice(backend Backend, blockSize int, stats *Stats) *Device {
 	if stats == nil {
 		stats = NewStats()
 	}
-	return &Device{blockSize: blockSize, stats: stats, backend: backend}
+	return &Device{blockSize: blockSize, stats: stats, frames: NewFramePool(blockSize), backend: backend}
 }
 
 // NewFileDevice creates a Device backed by a scratch file in dir (the
@@ -73,6 +75,36 @@ func (d *Device) BlockSize() int { return d.blockSize }
 // Stats returns the Stats this device charges I/Os to.
 func (d *Device) Stats() *Stats { return d.stats }
 
+// Frames returns the device's block-sized frame pool: the single source of
+// block buffers for every component operating on this device.
+func (d *Device) Frames() *FramePool { return d.frames }
+
+// EnableCache installs a clean-frame LRU cache of the given capacity (in
+// blocks) in front of the backend; see blockCache. The caller is
+// responsible for the cache's memory accounting (NewEnv grants
+// Config.CacheBlocks from the budget). blocks <= 0 is a no-op.
+func (d *Device) EnableCache(blocks int) {
+	if blocks <= 0 {
+		return
+	}
+	d.mu.Lock()
+	d.cache = newBlockCache(blocks, d.frames)
+	d.mu.Unlock()
+}
+
+// CacheFrames returns how many frames the cache holds live right now (0
+// without a cache). Tests use it to separate cache residency from
+// algorithm buffers.
+func (d *Device) CacheFrames() int {
+	d.mu.Lock()
+	c := d.cache
+	d.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c.frames()
+}
+
 // AllocBlock reserves a fresh block and returns its ID. Allocation is pure
 // bookkeeping and costs no I/O; the block is materialized on first write.
 func (d *Device) AllocBlock() int64 {
@@ -107,12 +139,23 @@ func (d *Device) ReadBlock(c Category, id int64, p []byte) error {
 		return fmt.Errorf("em: ReadBlock of unallocated block %d", id)
 	}
 	backend := d.backend
+	cache := d.cache
 	d.mu.Unlock()
 
+	if cache != nil && cache.get(id, p) {
+		// Served from a clean cached frame: no block transfer happened, so
+		// no read is charged — the hit is surfaced in its own counter.
+		d.stats.AddCacheHits(c, 1)
+		return nil
+	}
 	if _, err := readAtCat(backend, p, id*int64(d.blockSize), c); err != nil {
 		return fmt.Errorf("em: read block %d: %w", id, err)
 	}
 	d.stats.AddReads(c, 1)
+	if cache != nil {
+		d.stats.AddCacheMisses(c, 1)
+		cache.put(id, p)
+	}
 	return nil
 }
 
@@ -132,8 +175,15 @@ func (d *Device) WriteBlock(c Category, id int64, p []byte) error {
 		return fmt.Errorf("em: WriteBlock of unallocated block %d", id)
 	}
 	backend := d.backend
+	cache := d.cache
 	d.mu.Unlock()
 
+	if cache != nil {
+		// Keep an already-cached copy coherent. Writes never insert new
+		// entries: the cache holds clean frames for repeat reads, and the
+		// write itself still costs its full block transfer below.
+		cache.update(id, p)
+	}
 	if _, err := writeAtCat(backend, p, id*int64(d.blockSize), c); err != nil {
 		return fmt.Errorf("em: write block %d: %w", id, err)
 	}
@@ -141,7 +191,8 @@ func (d *Device) WriteBlock(c Category, id int64, p []byte) error {
 	return nil
 }
 
-// Close releases the backend. Further operations return ErrClosed.
+// Close releases the backend and drops the cache's frames. Further
+// operations return ErrClosed.
 func (d *Device) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -149,5 +200,9 @@ func (d *Device) Close() error {
 		return nil
 	}
 	d.closed = true
+	if d.cache != nil {
+		d.cache.drop()
+		d.cache = nil
+	}
 	return d.backend.Close()
 }

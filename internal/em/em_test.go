@@ -336,8 +336,10 @@ func TestStreamIOCounting(t *testing.T) {
 
 func TestCountingReader(t *testing.T) {
 	stats := NewStats()
+	d := NewDevice(NewMemBackend(), 100, stats)
 	src := strings.NewReader(strings.Repeat("a", 250))
-	cr := NewCountingReader(src, 100, stats, CatInput)
+	cr := NewCountingReader(src, d, CatInput)
+	defer cr.Close()
 	got, err := io.ReadAll(cr)
 	if err != nil {
 		t.Fatal(err)
@@ -363,7 +365,9 @@ func TestCountingReader(t *testing.T) {
 
 func TestCountingReaderByteAtATime(t *testing.T) {
 	stats := NewStats()
-	cr := NewCountingReader(strings.NewReader("hello!"), 4, stats, CatInput)
+	d := NewDevice(NewMemBackend(), 4, stats)
+	cr := NewCountingReader(strings.NewReader("hello!"), d, CatInput)
+	defer cr.Close()
 	for i := 0; i < 6; i++ {
 		if _, err := cr.ReadByte(); err != nil {
 			t.Fatal(err)
@@ -380,8 +384,10 @@ func TestCountingReaderByteAtATime(t *testing.T) {
 
 func TestCountingWriter(t *testing.T) {
 	stats := NewStats()
+	d := NewDevice(NewMemBackend(), 100, stats)
 	var sink bytes.Buffer
-	cw := NewCountingWriter(&sink, 100, stats, CatOutput)
+	cw := NewCountingWriter(&sink, d, CatOutput)
+	defer cw.Close()
 	cw.Write(make([]byte, 150))
 	if err := cw.Flush(); err != nil {
 		t.Fatal(err)

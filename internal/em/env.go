@@ -29,6 +29,15 @@ type Config struct {
 	// every setting (see the concurrency model in DESIGN.md).
 	Parallelism int
 
+	// CacheBlocks, when positive, carves that many blocks out of MemBlocks
+	// for a clean-frame LRU cache on the scratch device: repeat ReadBlocks
+	// of recently touched blocks are served from memory and surfaced as
+	// cache hits in Stats instead of costing block transfers. The cache is
+	// opt-in and defaults to 0 because it changes the read counts away from
+	// the paper's model; the sorters see a budget shrunk by CacheBlocks, so
+	// total memory stays within M (see DESIGN.md §10).
+	CacheBlocks int
+
 	// VerifyChecksums stores a CRC-32C trailer with every spill block and
 	// verifies it on read, turning torn writes and bit rot into typed
 	// ErrCorruptBlock errors instead of silent corruption. Costs 8 bytes
@@ -60,6 +69,13 @@ func (c Config) Validate() error {
 	if c.Parallelism < 0 {
 		return fmt.Errorf("em: negative parallelism %d", c.Parallelism)
 	}
+	if c.CacheBlocks < 0 {
+		return fmt.Errorf("em: negative cache size %d blocks", c.CacheBlocks)
+	}
+	if c.CacheBlocks > 0 && c.MemBlocks-c.CacheBlocks < 5 {
+		return fmt.Errorf("em: cache of %d blocks leaves %d of %d for sorting (min 5)",
+			c.CacheBlocks, c.MemBlocks-c.CacheBlocks, c.MemBlocks)
+	}
 	return nil
 }
 
@@ -83,6 +99,10 @@ type Env struct {
 	// main goroutine is the remaining unit). Nil on hand-built Envs, which
 	// therefore run sequentially.
 	pool *Pool
+
+	// cacheGrant is the budget reservation backing the device's block
+	// cache (Conf.CacheBlocks), released on Close.
+	cacheGrant int
 }
 
 // Parallelism returns the resolved parallelism level: Conf.Parallelism, or
@@ -117,13 +137,28 @@ func NewEnv(cfg Config) (*Env, error) {
 		backend = cfg.WrapBackend(backend)
 	}
 	backend = HardenBackend(backend, cfg, stats)
-	return &Env{
-		Dev:    NewDevice(backend, cfg.BlockSize, stats),
+	dev := NewDevice(backend, cfg.BlockSize, stats)
+	budget := NewBudget(cfg.MemBlocks)
+	// The device's frame pool is the memory behind the budget's blocks:
+	// one substrate under every buffer, so grants and buffers can't drift.
+	budget.AttachFrames(dev.Frames())
+	env := &Env{
+		Dev:    dev,
 		Stats:  stats,
-		Budget: NewBudget(cfg.MemBlocks),
+		Budget: budget,
 		Conf:   cfg,
 		pool:   NewPool(cfg.parallelism() - 1),
-	}, nil
+	}
+	if cfg.CacheBlocks > 0 {
+		// The cache's residency comes out of M like any other buffer. Its
+		// frames are acquired lazily by the cache itself as blocks are
+		// inserted, but the grant is taken up front so the sorters' view of
+		// free memory is correct from the start.
+		budget.MustGrant(cfg.CacheBlocks)
+		env.cacheGrant = cfg.CacheBlocks
+		dev.EnableCache(cfg.CacheBlocks)
+	}
+	return env, nil
 }
 
 // HardenBackend applies cfg's hardening layers (checksums, then retry) to
@@ -139,8 +174,16 @@ func HardenBackend(backend Backend, cfg Config, stats *Stats) Backend {
 	return backend
 }
 
-// Close releases the scratch device.
-func (e *Env) Close() error { return e.Dev.Close() }
+// Close releases the scratch device (dropping any cached frames) and
+// returns the cache's budget grant.
+func (e *Env) Close() error {
+	err := e.Dev.Close()
+	if e.cacheGrant > 0 {
+		e.Budget.Release(e.cacheGrant)
+		e.cacheGrant = 0
+	}
+	return err
+}
 
 // CostModel converts counted block I/Os into simulated seconds, so the
 // harness can plot "sort time" curves with the same shape as the paper's

@@ -21,10 +21,12 @@ import (
 // worker pool has drained, where the counts are exact — and, by the
 // determinism guarantee (DESIGN.md), identical at every parallelism level.
 type Stats struct {
-	reads   [numCategories]atomic.Int64
-	writes  [numCategories]atomic.Int64
-	retries [numCategories]atomic.Int64
-	ckFails [numCategories]atomic.Int64
+	reads    [numCategories]atomic.Int64
+	writes   [numCategories]atomic.Int64
+	retries  [numCategories]atomic.Int64
+	ckFails  [numCategories]atomic.Int64
+	cacheHit [numCategories]atomic.Int64
+	cacheMis [numCategories]atomic.Int64
 }
 
 // NewStats returns an empty Stats.
@@ -44,6 +46,17 @@ func (s *Stats) AddRetries(c Category, n int64) { s.retries[c].Add(n) }
 // AddChecksumFailures records n blocks that failed checksum verification
 // under category c.
 func (s *Stats) AddChecksumFailures(c Category, n int64) { s.ckFails[c].Add(n) }
+
+// AddCacheHits records n ReadBlocks served from the clean-frame cache under
+// category c. A hit costs no block transfer, so it is deliberately NOT
+// counted in Reads — the reads counters keep their paper meaning of actual
+// block transfers.
+func (s *Stats) AddCacheHits(c Category, n int64) { s.cacheHit[c].Add(n) }
+
+// AddCacheMisses records n ReadBlocks that went to the backend despite the
+// cache being enabled, under category c. Hits+misses equals the ReadBlock
+// call count on a cached device.
+func (s *Stats) AddCacheMisses(c Category, n int64) { s.cacheMis[c].Add(n) }
 
 // Reads returns the number of block reads recorded under category c.
 func (s *Stats) Reads(c Category) int64 { return s.reads[c].Load() }
@@ -100,6 +113,30 @@ func (s *Stats) TotalChecksumFailures() int64 {
 	return t
 }
 
+// CacheHits returns the cache hits recorded under category c.
+func (s *Stats) CacheHits(c Category) int64 { return s.cacheHit[c].Load() }
+
+// CacheMisses returns the cache misses recorded under category c.
+func (s *Stats) CacheMisses(c Category) int64 { return s.cacheMis[c].Load() }
+
+// TotalCacheHits returns cache hits across all categories.
+func (s *Stats) TotalCacheHits() int64 {
+	var t int64
+	for i := range s.cacheHit {
+		t += s.cacheHit[i].Load()
+	}
+	return t
+}
+
+// TotalCacheMisses returns cache misses across all categories.
+func (s *Stats) TotalCacheMisses() int64 {
+	var t int64
+	for i := range s.cacheMis {
+		t += s.cacheMis[i].Load()
+	}
+	return t
+}
+
 // Reset zeroes every counter. Not for concurrent use with in-flight I/O.
 func (s *Stats) Reset() {
 	for i := 0; i < int(numCategories); i++ {
@@ -107,6 +144,8 @@ func (s *Stats) Reset() {
 		s.writes[i].Store(0)
 		s.retries[i].Store(0)
 		s.ckFails[i].Store(0)
+		s.cacheHit[i].Store(0)
+		s.cacheMis[i].Store(0)
 	}
 }
 
@@ -120,8 +159,11 @@ func (s *Stats) Snapshot() map[string]IOCount {
 			Writes:           s.writes[i].Load(),
 			Retries:          s.retries[i].Load(),
 			ChecksumFailures: s.ckFails[i].Load(),
+			CacheHits:        s.cacheHit[i].Load(),
+			CacheMisses:      s.cacheMis[i].Load(),
 		}
-		if c.Reads == 0 && c.Writes == 0 && c.Retries == 0 && c.ChecksumFailures == 0 {
+		if c.Reads == 0 && c.Writes == 0 && c.Retries == 0 && c.ChecksumFailures == 0 &&
+			c.CacheHits == 0 && c.CacheMisses == 0 {
 			continue
 		}
 		out[Category(i).String()] = c
@@ -140,6 +182,12 @@ type IOCount struct {
 	// ChecksumFailures counts blocks whose stored checksum did not match
 	// on read; zero unless the device corrupted data.
 	ChecksumFailures int64
+	// CacheHits counts ReadBlocks served from the clean-frame cache (no
+	// block transfer); zero unless Config.CacheBlocks > 0.
+	CacheHits int64
+	// CacheMisses counts ReadBlocks that reached the backend with the
+	// cache enabled; zero unless Config.CacheBlocks > 0.
+	CacheMisses int64
 }
 
 // Total returns reads+writes.
@@ -164,6 +212,9 @@ func (s *Stats) String() string {
 		}
 		if c.ChecksumFailures > 0 {
 			fmt.Fprintf(&b, " ckfail=%d", c.ChecksumFailures)
+		}
+		if c.CacheHits > 0 || c.CacheMisses > 0 {
+			fmt.Fprintf(&b, " hit=%d miss=%d", c.CacheHits, c.CacheMisses)
 		}
 		b.WriteString("; ")
 		total += c.Total()

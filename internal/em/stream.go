@@ -75,6 +75,7 @@ func (s *Stream) blockID(i int) (int64, error) {
 type StreamWriter struct {
 	s      *Stream
 	budget *Budget
+	frame  Frame
 	buf    []byte
 	used   int
 	closed bool
@@ -95,7 +96,8 @@ func (s *Stream) NewWriter(budget *Budget) (*StreamWriter, error) {
 			return nil, err
 		}
 	}
-	return &StreamWriter{s: s, budget: budget, buf: make([]byte, s.dev.BlockSize())}, nil
+	frame := s.dev.Frames().Acquire()
+	return &StreamWriter{s: s, budget: budget, frame: frame, buf: frame.Bytes()}, nil
 }
 
 // Write appends p to the stream, flushing whole blocks to the device as the
@@ -131,6 +133,8 @@ func (w *StreamWriter) Close() error {
 	}
 	w.closed = true
 	defer func() {
+		w.s.dev.Frames().Release(w.frame)
+		w.buf = nil
 		if w.budget != nil {
 			w.budget.Release(1)
 		}
@@ -161,6 +165,7 @@ type StreamReader struct {
 	s      *Stream
 	cat    Category
 	budget *Budget
+	frame  Frame
 	buf    []byte
 	cur    int // index of the block currently in buf, -1 if none
 	pos    int64
@@ -194,7 +199,8 @@ func (s *Stream) NewReaderCat(budget *Budget, off int64, cat Category) (*StreamR
 			return nil, err
 		}
 	}
-	return &StreamReader{s: s, cat: cat, budget: budget, buf: make([]byte, s.dev.BlockSize()), cur: -1, pos: off}, nil
+	frame := s.dev.Frames().Acquire()
+	return &StreamReader{s: s, cat: cat, budget: budget, frame: frame, buf: frame.Bytes(), cur: -1, pos: off}, nil
 }
 
 // Offset returns the byte offset of the next read.
@@ -241,12 +247,14 @@ func (r *StreamReader) ReadByte() (byte, error) {
 	return 0, err
 }
 
-// Close releases the buffer grant.
+// Close recycles the buffer frame and releases its grant.
 func (r *StreamReader) Close() error {
 	if r.closed {
 		return nil
 	}
 	r.closed = true
+	r.s.dev.Frames().Release(r.frame)
+	r.buf = nil
 	if r.budget != nil {
 		r.budget.Release(1)
 	}

@@ -57,3 +57,53 @@ func BenchmarkSorterExternal(b *testing.B) {
 		env.Close()
 	}
 }
+
+// BenchmarkFramePool measures the allocation profile of the extsort record
+// path — Add's per-record copy plus run formation and merging — which is
+// the hot loop the frame-pool arena exists for. Run with -benchmem.
+func BenchmarkFramePool(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	recs := make([][]byte, 50000)
+	var bytesTotal int64
+	for i := range recs {
+		recs[i] = []byte(fmt.Sprintf("%08d-%024x", rng.Intn(1e8), rng.Int63()))
+		bytesTotal += int64(len(recs[i]))
+	}
+	b.SetBytes(bytesTotal)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env, err := em.NewEnv(em.Config{BlockSize: 4096, MemBlocks: 32, Parallelism: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := New(env, em.CatMergeRun, func(a, c []byte) int { return bytes.Compare(a, c) }, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := s.Add(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		it, err := s.Sort()
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			if _, err := it.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != len(recs) {
+			b.Fatalf("%d records out", n)
+		}
+		it.Close()
+		s.Close()
+		env.Close()
+	}
+}

@@ -57,6 +57,7 @@ type Sorter struct {
 	bufLimit  int // record bytes buffered before a run is cut
 
 	records  [][]byte
+	arena    *recArena // frame-backed storage behind records
 	bufBytes int
 	runs     []*em.Stream
 
@@ -102,19 +103,18 @@ func New(env *em.Env, cat em.Category, cmp Compare, memBlocks int) (*Sorter, err
 		cmp:       cmp,
 		memBlocks: memBlocks,
 		bufLimit:  (memBlocks - 1) * env.Conf.BlockSize,
+		arena:     newRecArena(env.Dev.Frames(), memBlocks-1),
 	}, nil
 }
 
-// Add buffers one record (copied), cutting an initial run when the buffer
-// is full. Records larger than the buffer still sort correctly: they form
-// single-record runs.
+// Add buffers one record (copied into the batch arena), cutting an initial
+// run when the buffer is full. Records larger than the buffer still sort
+// correctly: they form single-record runs.
 func (s *Sorter) Add(rec []byte) error {
 	if s.sorted {
 		return fmt.Errorf("extsort: Add after Sort")
 	}
-	cp := make([]byte, len(rec))
-	copy(cp, rec)
-	s.records = append(s.records, cp)
+	s.records = append(s.records, s.arena.alloc(rec))
 	s.bufBytes += len(rec)
 	s.totalRecords++
 	s.totalBytes += int64(len(rec))
@@ -122,6 +122,54 @@ func (s *Sorter) Add(rec []byte) error {
 		return s.cutRun()
 	}
 	return nil
+}
+
+// recArena carves record copies out of pool frames, replacing the
+// one-allocation-per-record pattern with bump allocation inside recycled
+// block buffers. The arena holds at most maxFrames frames — the M−1 buffer
+// blocks of the sorter's grant, which is exactly what bufLimit lets the
+// records fill — and backs one batch: the batch's runs are cut from it,
+// then release() recycles the frames wholesale. Oversized records (and the
+// rare overflow when per-frame fragmentation exceeds the slack) fall back
+// to plain allocations that die with the batch.
+type recArena struct {
+	pool      *em.FramePool
+	maxFrames int
+	frames    []em.Frame
+	cur       []byte // unused tail of the most recent frame
+}
+
+func newRecArena(pool *em.FramePool, maxFrames int) *recArena {
+	return &recArena{pool: pool, maxFrames: maxFrames}
+}
+
+// alloc returns a copy of rec with storage carved from the arena.
+func (a *recArena) alloc(rec []byte) []byte {
+	n := len(rec)
+	if n > a.pool.FrameSize() || (len(a.frames) == a.maxFrames && len(a.cur) < n) {
+		cp := make([]byte, n)
+		copy(cp, rec)
+		return cp
+	}
+	if len(a.cur) < n {
+		f := a.pool.Acquire()
+		a.frames = append(a.frames, f)
+		a.cur = f.Bytes()
+	}
+	out := a.cur[:n:n]
+	copy(out, rec)
+	a.cur = a.cur[n:]
+	return out
+}
+
+// release recycles the arena's frames, invalidating every record allocated
+// from it, and leaves the arena empty and reusable.
+func (a *recArena) release() {
+	for _, f := range a.frames {
+		a.pool.Release(f)
+	}
+	a.frames = a.frames[:0]
+	a.cur = nil
 }
 
 // cutRun sorts the buffer and writes it as an initial run. The run's slot
@@ -154,7 +202,9 @@ func (s *Sorter) cutRun() error {
 			s.env.Pool().Release()
 		} else {
 			recs := s.records
+			arena := s.arena
 			s.records = nil
+			s.arena = newRecArena(s.env.Dev.Frames(), s.memBlocks-1)
 			s.bufBytes = 0
 			s.wg.Add(1)
 			go func() {
@@ -170,6 +220,9 @@ func (s *Sorter) cutRun() error {
 						s.mu.Unlock()
 					}
 				}()
+				// The batch's records live in its arena; recycle the frames
+				// once the spill is done, before the grant is returned.
+				defer arena.release()
 				run, err := s.writeRun(recs)
 				s.mu.Lock()
 				if err != nil {
@@ -193,6 +246,7 @@ func (s *Sorter) cutRun() error {
 	s.runs[slot] = run
 	s.mu.Unlock()
 	s.records = s.records[:0]
+	s.arena.release()
 	s.bufBytes = 0
 	return nil
 }
@@ -206,6 +260,9 @@ func (s *Sorter) writeRun(records [][]byte) (*em.Stream, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Close on every path: the writer's buffer frame must go back to the
+	// pool even when the spill fails mid-run.
+	defer w.Close()
 	var lenBuf [binary.MaxVarintLen64]byte
 	for _, rec := range records {
 		n := binary.PutUvarint(lenBuf[:], uint64(len(rec)))
@@ -309,11 +366,24 @@ func (s *Sorter) Sort() (*Iterator, error) {
 }
 
 // mergeRuns merges the given runs into a single new run.
-func (s *Sorter) mergeRuns(runs []*em.Stream) (*em.Stream, error) {
+func (s *Sorter) mergeRuns(runs []*em.Stream) (_ *em.Stream, retErr error) {
 	if len(runs) == 1 {
 		return runs[0], nil
 	}
 	h := &mergeHeap{cmp: s.cmp}
+	var w *em.StreamWriter
+	defer func() {
+		// On failure, close whatever is still open so every buffer frame
+		// returns to the pool; the half-written run is abandoned.
+		if retErr != nil {
+			for _, cur := range h.cursors {
+				cur.r.close()
+			}
+			if w != nil {
+				w.Close()
+			}
+		}
+	}()
 	for i, run := range runs {
 		r, err := newRunReader(run)
 		if err != nil {
@@ -325,12 +395,14 @@ func (s *Sorter) mergeRuns(runs []*em.Stream) (*em.Stream, error) {
 			continue
 		}
 		if err != nil {
+			r.close()
 			return nil, err
 		}
 		heap.Push(h, &mergeCursor{r: r, rec: rec, idx: i})
 	}
 	out := em.NewStream(s.env.Dev, s.cat)
-	w, err := out.NewWriter(nil)
+	var err error
+	w, err = out.NewWriter(nil)
 	if err != nil {
 		return nil, err
 	}
@@ -384,6 +456,12 @@ func (s *Sorter) Close() {
 	}
 	s.closed = true
 	defer s.env.Budget.Release(s.memBlocks)
+	defer func() {
+		// The current batch arena (still referenced by Iterator.mem on the
+		// in-memory fast path) is recycled here, before the grant goes back.
+		s.arena.release()
+		s.records = nil
+	}()
 	s.drain() //nolint:errcheck // terminal errors were already surfaced by Add/Sort
 }
 

@@ -86,7 +86,8 @@ func SortXML(env *em.Env, c *keys.Criterion, in io.Reader, out io.Writer, opts X
 	defer sorter.Close()
 
 	report := &XMLReport{}
-	cr := em.NewCountingReader(in, env.Conf.BlockSize, env.Stats, em.CatInput)
+	cr := em.NewCountingReader(in, env.Dev, em.CatInput)
+	defer cr.Close()
 	parser := xmltok.NewParser(cr, xmltok.DefaultParserOptions())
 	annot := keys.NewAnnotator(c, nil)
 	extract := keypath.NewExtractor()
@@ -159,13 +160,15 @@ func SortXML(env *em.Env, c *keys.Criterion, in io.Reader, out io.Writer, opts X
 	}
 	defer it.Close()
 
-	cw := em.NewCountingWriter(out, env.Conf.BlockSize, env.Stats, em.CatOutput)
+	cw := em.NewCountingWriter(out, env.Dev, em.CatOutput)
+	defer cw.Close()
 	var w *xmltok.Writer
 	if opts.Indent != "" {
 		w = xmltok.NewIndentWriter(cw, opts.Indent)
 	} else {
 		w = xmltok.NewWriter(cw)
 	}
+	var recDec keypath.Decoder
 	builder := keypath.NewBuilder(func(tok xmltok.Token) error {
 		if dec != nil {
 			var err error
@@ -184,7 +187,7 @@ func SortXML(env *em.Env, c *keys.Criterion, in io.Reader, out io.Writer, opts X
 		if err != nil {
 			return nil, err
 		}
-		rec, err := keypath.ReadRecord(&sliceCursor{buf: raw})
+		rec, err := recDec.ReadRecord(&sliceCursor{buf: raw})
 		if err != nil {
 			return nil, fmt.Errorf("extsort: decoding sorted record: %w", err)
 		}
@@ -210,8 +213,8 @@ func SortXML(env *em.Env, c *keys.Criterion, in io.Reader, out io.Writer, opts X
 	return report, nil
 }
 
-// sliceCursor is an io.ByteReader over a byte slice without the
-// bytes.Reader allocation.
+// sliceCursor is an io.ByteReader and io.Reader over a byte slice without
+// the bytes.Reader allocation.
 type sliceCursor struct {
 	buf []byte
 	pos int
@@ -224,4 +227,13 @@ func (c *sliceCursor) ReadByte() (byte, error) {
 	b := c.buf[c.pos]
 	c.pos++
 	return b, nil
+}
+
+func (c *sliceCursor) Read(p []byte) (int, error) {
+	if c.pos >= len(c.buf) {
+		return 0, io.EOF
+	}
+	n := copy(p, c.buf[c.pos:])
+	c.pos += n
+	return n, nil
 }

@@ -120,8 +120,17 @@ func AppendRecord(dst []byte, rec Record) []byte {
 // maxPathLen bounds decoded path lengths against corrupt input.
 const maxPathLen = 1 << 20
 
+// Decoder decodes records, reusing a scratch buffer for path keys and a
+// token decoder across calls — the record-decode path runs once per node in
+// the output phase of the merge-sort baseline, so the per-key allocation it
+// avoids is one of the hottest in that sorter. Not safe for concurrent use.
+type Decoder struct {
+	scratch []byte
+	tok     xmltok.Decoder
+}
+
 // ReadRecord decodes one record from r, returning io.EOF at a clean end.
-func ReadRecord(r io.ByteReader) (Record, error) {
+func (d *Decoder) ReadRecord(r io.ByteReader) (Record, error) {
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
 		if err == io.EOF {
@@ -141,13 +150,22 @@ func ReadRecord(r io.ByteReader) (Record, error) {
 		if keyLen > maxPathLen {
 			return Record{}, fmt.Errorf("keypath: corrupt record: key length %d", keyLen)
 		}
-		key := make([]byte, keyLen)
-		for j := range key {
-			b, err := r.ReadByte()
-			if err != nil {
+		if cap(d.scratch) < int(keyLen) {
+			d.scratch = make([]byte, keyLen)
+		}
+		key := d.scratch[:keyLen]
+		if rr, ok := r.(io.Reader); ok {
+			if _, err := io.ReadFull(rr, key); err != nil {
 				return Record{}, unexpected(err)
 			}
-			key[j] = b
+		} else {
+			for j := range key {
+				b, err := r.ReadByte()
+				if err != nil {
+					return Record{}, unexpected(err)
+				}
+				key[j] = b
+			}
 		}
 		seq, err := binary.ReadUvarint(r)
 		if err != nil {
@@ -155,12 +173,19 @@ func ReadRecord(r io.ByteReader) (Record, error) {
 		}
 		rec.Path[i] = Component{Key: string(key), Seq: int64(seq)}
 	}
-	tok, err := xmltok.ReadToken(r)
+	tok, err := d.tok.ReadToken(r)
 	if err != nil {
 		return Record{}, unexpected(err)
 	}
 	rec.Tok = tok
 	return rec, nil
+}
+
+// ReadRecord decodes one record from r with a throwaway Decoder. Streaming
+// callers should hold a Decoder and call its ReadRecord instead.
+func ReadRecord(r io.ByteReader) (Record, error) {
+	var d Decoder
+	return d.ReadRecord(r)
 }
 
 // CompareEncoded orders two encoded records without decoding their tokens.

@@ -420,7 +420,11 @@ type parserStream struct {
 
 // prefetchDepth is the producer's lookahead bound in tokens: deep enough
 // to absorb decode/merge burstiness, small enough that the buffered tokens
-// stay well under one block-sized working set.
+// stay well under one block-sized working set. This is the one deliberate
+// block-buffer exception in the tree (DESIGN.md §10): the lookahead is
+// token-granular, not block-granular, so it buys no frame from the pool —
+// its footprint rides on the input streams' own frames, which is why the
+// merger's budget arithmetic never mentions it.
 const prefetchDepth = 256
 
 func newParserStream(r io.Reader, c *keys.Criterion, elements *int64, pipelined bool) *parserStream {

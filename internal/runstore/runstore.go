@@ -136,13 +136,15 @@ func (w *Writer) Tokens() int64 { return w.tokens }
 // Close seals the run and releases the buffer grant.
 func (w *Writer) Close() error { return w.w.Close() }
 
-// Reader streams tokens out of a run.
+// Reader streams tokens out of a run, holding one token decoder so the
+// decode scratch is reused across the whole run.
 type Reader struct {
-	sr *em.StreamReader
+	sr  *em.StreamReader
+	dec xmltok.Decoder
 }
 
 // ReadToken returns the next token, io.EOF at the end of the run.
-func (r *Reader) ReadToken() (xmltok.Token, error) { return xmltok.ReadToken(r.sr) }
+func (r *Reader) ReadToken() (xmltok.Token, error) { return r.dec.ReadToken(r.sr) }
 
 // Offset returns the byte offset of the next token — the resume location
 // pushed onto the output location stack when a run pointer is followed.

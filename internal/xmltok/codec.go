@@ -96,10 +96,19 @@ func EncodedSize(t Token) int {
 	return n
 }
 
+// Decoder decodes binary tokens, reusing one scratch buffer across calls so
+// the only per-token allocations are the strings that escape into the Token
+// itself. A Decoder is cheap (lazily grown scratch) but not safe for
+// concurrent use; long-lived readers keep one per stream.
+type Decoder struct {
+	scratch []byte
+}
+
 // ReadToken decodes one token from r. It returns io.EOF cleanly when the
 // stream is exhausted at a token boundary, and io.ErrUnexpectedEOF if the
-// stream ends mid-token.
-func ReadToken(r io.ByteReader) (Token, error) {
+// stream ends mid-token. The one-shot helper for callers without a Decoder
+// is the package-level ReadToken.
+func (d *Decoder) ReadToken(r io.ByteReader) (Token, error) {
 	kb, err := r.ReadByte()
 	if err != nil {
 		if err == io.EOF {
@@ -110,7 +119,7 @@ func ReadToken(r io.ByteReader) (Token, error) {
 	t := Token{Kind: Kind(kb & kindMask)}
 	switch t.Kind {
 	case KindStart:
-		if t.Name, err = readString(r); err != nil {
+		if t.Name, err = d.readString(r); err != nil {
 			return Token{}, mid(err)
 		}
 		n, err := binary.ReadUvarint(r)
@@ -123,20 +132,20 @@ func ReadToken(r io.ByteReader) (Token, error) {
 		if n > 0 {
 			t.Attrs = make([]Attr, n)
 			for i := range t.Attrs {
-				if t.Attrs[i].Name, err = readString(r); err != nil {
+				if t.Attrs[i].Name, err = d.readString(r); err != nil {
 					return Token{}, mid(err)
 				}
-				if t.Attrs[i].Value, err = readString(r); err != nil {
+				if t.Attrs[i].Value, err = d.readString(r); err != nil {
 					return Token{}, mid(err)
 				}
 			}
 		}
 	case KindEnd:
-		if t.Name, err = readString(r); err != nil {
+		if t.Name, err = d.readString(r); err != nil {
 			return Token{}, mid(err)
 		}
 	case KindText:
-		if t.Text, err = readString(r); err != nil {
+		if t.Text, err = d.readString(r); err != nil {
 			return Token{}, mid(err)
 		}
 	case KindRunPtr:
@@ -145,7 +154,7 @@ func ReadToken(r io.ByteReader) (Token, error) {
 			return Token{}, mid(err)
 		}
 		t.Run = int64(run)
-		if t.Name, err = readString(r); err != nil {
+		if t.Name, err = d.readString(r); err != nil {
 			return Token{}, mid(err)
 		}
 	default:
@@ -153,7 +162,7 @@ func ReadToken(r io.ByteReader) (Token, error) {
 	}
 	if kb&flagHasKey != 0 {
 		t.HasKey = true
-		if t.Key, err = readString(r); err != nil {
+		if t.Key, err = d.readString(r); err != nil {
 			return Token{}, mid(err)
 		}
 	}
@@ -168,6 +177,14 @@ func ReadToken(r io.ByteReader) (Token, error) {
 		t.Level = int(level)
 	}
 	return t, nil
+}
+
+// ReadToken decodes one token from r with a throwaway Decoder. Streaming
+// callers should hold a Decoder and call its ReadToken to reuse the scratch
+// buffer across tokens.
+func ReadToken(r io.ByteReader) (Token, error) {
+	var d Decoder
+	return d.ReadToken(r)
 }
 
 // mid converts an EOF inside a token into io.ErrUnexpectedEOF.
@@ -198,7 +215,11 @@ func uvarintSize(v uint64) int {
 // input cannot trigger enormous allocations.
 const maxStringLen = 1 << 26 // 64 MiB
 
-func readString(r io.ByteReader) (string, error) {
+// readString decodes one length-prefixed string into the decoder's scratch
+// buffer (grown on demand, reused across calls); only the final string
+// conversion allocates. Readers that implement io.Reader are filled with
+// one ReadFull instead of a byte-at-a-time loop.
+func (d *Decoder) readString(r io.ByteReader) (string, error) {
 	n, err := binary.ReadUvarint(r)
 	if err != nil {
 		return "", err
@@ -209,13 +230,22 @@ func readString(r io.ByteReader) (string, error) {
 	if n > maxStringLen {
 		return "", fmt.Errorf("xmltok: corrupt stream: string length %d", n)
 	}
-	buf := make([]byte, n)
-	for i := range buf {
-		b, err := r.ReadByte()
-		if err != nil {
+	if cap(d.scratch) < int(n) {
+		d.scratch = make([]byte, n)
+	}
+	buf := d.scratch[:n]
+	if rr, ok := r.(io.Reader); ok {
+		if _, err := io.ReadFull(rr, buf); err != nil {
 			return "", err
 		}
-		buf[i] = b
+	} else {
+		for i := range buf {
+			b, err := r.ReadByte()
+			if err != nil {
+				return "", err
+			}
+			buf[i] = b
+		}
 	}
 	return string(buf), nil
 }

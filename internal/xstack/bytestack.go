@@ -89,10 +89,12 @@ func (s *ByteStack) ReadRange(budget *em.Budget, off int64) (*RangeReader, error
 			return nil, err
 		}
 	}
+	frame := s.p.frames.Acquire()
 	return &RangeReader{
 		s:      s,
 		budget: budget,
-		buf:    make([]byte, s.p.blockSize()),
+		frame:  frame,
+		buf:    frame.Bytes(),
 		cur:    -1,
 		pos:    off,
 		end:    s.size,
@@ -115,6 +117,7 @@ func (s *ByteStack) Close() { s.p.close() }
 type RangeReader struct {
 	s      *ByteStack
 	budget *em.Budget
+	frame  em.Frame
 	buf    []byte
 	cur    int // stack block index currently in buf; -1 if none
 	pos    int64
@@ -158,12 +161,14 @@ func (r *RangeReader) ReadByte() (byte, error) {
 	return 0, err
 }
 
-// Close releases the reader's buffer grant.
+// Close recycles the reader's buffer frame and releases its grant.
 func (r *RangeReader) Close() error {
 	if r.closed {
 		return nil
 	}
 	r.closed = true
+	r.s.p.frames.Release(r.frame)
+	r.buf = nil
 	if r.budget != nil {
 		r.budget.Release(1)
 	}

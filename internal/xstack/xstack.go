@@ -41,10 +41,11 @@ type pager struct {
 	dev      *em.Device
 	cat      em.Category
 	budget   *em.Budget
+	frames   *em.FramePool
 	resident int // maximum resident blocks (granted from budget)
 
-	ids    []int64  // device block ID per stack block; -1 until first evict
-	bufs   [][]byte // resident buffers, bufs[i] holds stack block wStart+i
+	ids    []int64    // device block ID per stack block; -1 until first evict
+	bufs   []em.Frame // resident frames, bufs[i] holds stack block wStart+i
 	dirty  []bool
 	wStart int // stack block index of bufs[0]
 	closed bool
@@ -59,8 +60,8 @@ func newPager(dev *em.Device, cat em.Category, budget *em.Budget, resident int) 
 			return nil, fmt.Errorf("xstack: granting %d resident blocks: %w", resident, err)
 		}
 	}
-	p := &pager{dev: dev, cat: cat, budget: budget, resident: resident}
-	p.bufs = append(p.bufs, make([]byte, dev.BlockSize()))
+	p := &pager{dev: dev, cat: cat, budget: budget, frames: dev.Frames(), resident: resident}
+	p.bufs = append(p.bufs, p.frames.Acquire())
 	p.dirty = append(p.dirty, false)
 	return p, nil
 }
@@ -76,7 +77,7 @@ func (p *pager) isResident(b int) bool {
 }
 
 // buf returns the buffer for resident stack block b.
-func (p *pager) buf(b int) []byte { return p.bufs[b-p.wStart] }
+func (p *pager) buf(b int) []byte { return p.bufs[b-p.wStart].Bytes() }
 
 // markDirty flags resident stack block b as modified.
 func (p *pager) markDirty(b int) { p.dirty[b-p.wStart] = true }
@@ -91,25 +92,26 @@ func (p *pager) deviceID(b int) int64 {
 	return p.ids[b]
 }
 
-// grow extends the window upward by one fresh block, evicting the oldest
-// block first if the window is full.
+// grow extends the window upward by one fresh (zeroed) frame, evicting the
+// oldest block first if the window is full.
 func (p *pager) grow() error {
 	if len(p.bufs) == p.resident {
 		if err := p.evictOldest(); err != nil {
 			return err
 		}
 	}
-	p.bufs = append(p.bufs, make([]byte, p.blockSize()))
+	p.bufs = append(p.bufs, p.frames.Acquire())
 	p.dirty = append(p.dirty, false)
 	return nil
 }
 
 func (p *pager) evictOldest() error {
 	if p.dirty[0] {
-		if err := p.dev.WriteBlock(p.cat, p.deviceID(p.wStart), p.bufs[0]); err != nil {
+		if err := p.dev.WriteBlock(p.cat, p.deviceID(p.wStart), p.bufs[0].Bytes()); err != nil {
 			return err
 		}
 	}
+	p.frames.Release(p.bufs[0])
 	p.bufs = p.bufs[1:]
 	p.dirty = p.dirty[1:]
 	p.wStart++
@@ -126,17 +128,19 @@ func (p *pager) shrinkTo(b int) error {
 		p.dirty = p.dirty[:keep]
 		return nil
 	}
-	// Page fault: the new top lives below the window.
-	buf := make([]byte, p.blockSize())
+	// Page fault: the new top lives below the window. The oldest resident
+	// frame is reused for the paged-in block; the rest are recycled.
 	if p.ids == nil || b >= len(p.ids) || p.ids[b] < 0 {
 		return fmt.Errorf("xstack: internal error: block %d was never evicted", b)
 	}
-	if err := p.dev.ReadBlock(p.cat, p.ids[b], buf); err != nil {
+	if err := p.dev.ReadBlock(p.cat, p.ids[b], p.bufs[0].Bytes()); err != nil {
 		return err
+	}
+	for _, f := range p.bufs[1:] {
+		p.frames.Release(f)
 	}
 	p.bufs = p.bufs[:1]
 	p.dirty = p.dirty[:1]
-	p.bufs[0] = buf
 	p.dirty[0] = false
 	p.wStart = b
 	return nil
@@ -176,14 +180,18 @@ func (p *pager) setResident(n int) error {
 // Used when the stack becomes empty: the old contents are garbage, so
 // paging anything back in would be a wasted read.
 func (p *pager) reset() {
+	for _, f := range p.bufs[1:] {
+		p.frames.Release(f)
+	}
 	p.bufs = p.bufs[:1]
 	p.dirty = p.dirty[:1]
 	if p.wStart != 0 {
-		p.bufs[0] = make([]byte, p.blockSize())
+		// The kept frame held some higher stack block; zero it so block 0
+		// starts from the same state a fresh frame would have.
+		clear(p.bufs[0].Bytes())
 		p.wStart = 0
 	}
 	p.dirty[0] = false
-	return
 }
 
 // readInto copies stack block b into dst, either from the window (free) or
@@ -204,6 +212,11 @@ func (p *pager) close() {
 		return
 	}
 	p.closed = true
+	for _, f := range p.bufs {
+		p.frames.Release(f)
+	}
+	p.bufs = nil
+	p.dirty = nil
 	if p.budget != nil {
 		p.budget.Release(p.resident)
 	}

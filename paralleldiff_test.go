@@ -76,6 +76,9 @@ func TestParallelDifferential(t *testing.T) {
 					if o.BudgetInUse != 0 {
 						t.Fatalf("%v sequential: leaked %d budget blocks", algo, o.BudgetInUse)
 					}
+					if o.FramesLive != 0 {
+						t.Fatalf("%v sequential: leaked %d pooled frames", algo, o.FramesLive)
+					}
 					seq[algo] = base{output: o.Output, ios: o.Stats.Snapshot()}
 				}
 				if !bytes.Equal(seq[chaostest.Nexsort].output, seq[chaostest.MergeSort].output) {
@@ -93,6 +96,9 @@ func TestParallelDifferential(t *testing.T) {
 						}
 						if o.BudgetInUse != 0 {
 							t.Errorf("%v parallelism=%d: leaked %d budget blocks", algo, p, o.BudgetInUse)
+						}
+						if o.FramesLive != 0 {
+							t.Errorf("%v parallelism=%d: leaked %d pooled frames", algo, p, o.FramesLive)
 						}
 						if !bytes.Equal(o.Output, seq[algo].output) {
 							t.Errorf("%v parallelism=%d: output differs from sequential run", algo, p)

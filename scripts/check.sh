@@ -4,6 +4,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> gofmt -l ."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "==> go vet ./..."
 go vet ./...
 
