@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race bench
+.PHONY: check build test vet nexvet race bench
 
 # check is the pre-PR gate: vet, build everything, the full test suite,
 # then the suite again under the race detector in short mode (the soak
@@ -9,7 +9,16 @@ check: ; ./scripts/check.sh
 
 build: ; $(GO) build ./...
 
-vet: ; $(GO) vet ./...
+# vet runs the toolchain's vet, then the project analyzers (NV001-NV004)
+# through both the -vettool protocol and the standalone stale-baseline run.
+vet: nexvet
+	$(GO) vet ./...
+	$(GO) vet -vettool=bin/nexvet ./...
+	./bin/nexvet ./...
+
+# nexvet builds the invariant checker; the Go build cache keeps this
+# incremental, so repeated `make vet` pays nothing when it is unchanged.
+nexvet: ; $(GO) build -o bin/nexvet ./cmd/nexvet
 
 test: ; $(GO) test ./...
 

@@ -1,0 +1,149 @@
+// nexvet statically enforces NEXSORT's frame, budget, and I/O-accounting
+// invariants (see DESIGN.md §11). It runs two ways:
+//
+//	go vet -vettool=$(command -v nexvet) ./...   # unit-checker mode, per package
+//	nexvet ./...                                 # standalone: whole tree + stale-baseline check
+//
+// Diagnostics print as "file:line:col: [CODE] message (hint)" — clickable
+// in CI logs. Codes: NV001 framebalance, NV002 iopurity, NV003 statsatomic,
+// NV004 detptr. Intentional exceptions live in
+// internal/analysis/baseline.txt; the standalone run fails on entries that
+// no longer match anything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nexsort/internal/analysis"
+)
+
+func main() {
+	// The go vet driver probes with -V=full and -flags before handing over
+	// per-package .cfg files; intercept those before flag parsing.
+	if len(os.Args) == 2 {
+		switch os.Args[1] {
+		case "-V=full", "--V=full":
+			analysis.PrintVersion(os.Stdout, "nexvet")
+			return
+		case "-flags", "--flags":
+			analysis.PrintFlags(os.Stdout)
+			return
+		}
+	}
+
+	baselineFlag := flag.String("baseline", "", "baseline file (default: internal/analysis/baseline.txt under the module root)")
+	listCodes := flag.Bool("codes", false, "print the diagnostic-code reference and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: nexvet [-baseline file] [packages]\n")
+		fmt.Fprintf(os.Stderr, "       nexvet <unit.cfg>        (go vet -vettool protocol)\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listCodes {
+		for _, az := range analysis.All() {
+			fmt.Printf("%s %-13s %s\n", az.Code, az.Name, az.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		runVettool(args[0], *baselineFlag)
+		return
+	}
+	runStandalone(args, *baselineFlag)
+}
+
+// runVettool is one go vet unit-checker invocation: analyze the package
+// the driver described, report non-baselined findings, exit 1 if any.
+func runVettool(cfgFile, baselinePath string) {
+	if baselinePath == "" {
+		if cwd, err := os.Getwd(); err == nil {
+			baselinePath = analysis.FindBaseline(cwd)
+		}
+	}
+	diags, err := analysis.RunUnitchecker(cfgFile, baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runStandalone analyzes whole packages via the go toolchain and
+// additionally fails on stale baseline entries — only a whole-tree run can
+// tell that an exception no longer matches anything.
+func runStandalone(patterns []string, baselinePath string) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nexvet:", err)
+		os.Exit(2)
+	}
+	if baselinePath == "" {
+		baselinePath = analysis.FindBaseline(cwd)
+	}
+
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := analysis.RunAnalyzers(pkgs, analysis.All())
+
+	baseline, err := analysis.LoadBaseline(baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	kept, suppressed := baseline.Filter(diags)
+
+	for _, d := range kept {
+		fmt.Fprintln(os.Stderr, rel(cwd, d))
+	}
+	// Stale entries can only be judged against the whole tree; a subset run
+	// legitimately leaves entries for unanalyzed packages untouched.
+	var stale []string
+	if wholeTree(patterns) {
+		stale = baseline.Stale()
+	}
+	for _, s := range stale {
+		fmt.Fprintln(os.Stderr, s)
+	}
+	if len(kept) > 0 || len(stale) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("nexvet: %d packages clean (%d baselined exceptions)\n", len(pkgs), len(suppressed))
+}
+
+// wholeTree reports whether the pattern set covers the entire module, which
+// is the only scope where an unused baseline entry is provably stale.
+func wholeTree(patterns []string) bool {
+	for _, p := range patterns {
+		if p == "./..." || p == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// rel renders d with a module-relative path when possible, keeping output
+// stable across checkouts.
+func rel(cwd string, d analysis.Diagnostic) string {
+	if r, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+		d.Pos.Filename = r
+	}
+	return d.String()
+}

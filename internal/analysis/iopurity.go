@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// IOPurity (NV002) enforces I/O conservation: every block transfer in the
+// algorithm packages must flow through em.Device (ReadBlock/WriteBlock), so
+// the per-category em.Stats — the paper's §5 I/O figures — count every
+// transfer exactly once. Outside the em device layer, the analyzer bans:
+//
+//   - positional I/O methods (ReadAt/WriteAt/ReadAtCat/WriteAtCat) called
+//     directly on em backend types or the em.Backend interface — these are
+//     the Device's private substrate; calling them skips the accounting;
+//   - file-opening and raw file I/O via the os package;
+//   - raw syscall reads/writes.
+//
+// Scope: packages under internal/ except the em tree itself. The API
+// boundary (the root nexsort package, cmd/ tools, examples) legitimately
+// opens input and output files — those are charged through
+// em.CountingReader/CountingWriter and are not block traffic. Harness
+// packages that stage workload files (internal/bench) are intentional
+// exceptions: baseline them.
+var IOPurity = &Analyzer{
+	Name: "iopurity",
+	Code: "NV002",
+	Doc: "report device-bypassing I/O (raw backend, os file, syscall) outside " +
+		"internal/em, where it would escape em.Stats accounting",
+	Run: runIOPurity,
+}
+
+// osFileIOFuncs are the os package functions that open or perform file I/O.
+var osFileIOFuncs = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "NewFile": true, "Pipe": true,
+}
+
+// osFileMethods are (*os.File) methods that move data.
+var osFileMethods = map[string]bool{
+	"Read": true, "ReadAt": true, "ReadFrom": true,
+	"Write": true, "WriteAt": true, "WriteTo": true, "WriteString": true,
+	"Seek": true, "Truncate": true,
+}
+
+// syscallIOFuncs are raw I/O entry points in package syscall.
+var syscallIOFuncs = map[string]bool{
+	"Read": true, "Write": true, "Pread": true, "Pwrite": true,
+	"Open": true, "Openat": true,
+}
+
+// backendMethods are the positional-I/O methods of em backends.
+var backendMethods = map[string]bool{
+	"ReadAt": true, "WriteAt": true, "ReadAtCat": true, "WriteAtCat": true,
+}
+
+func runIOPurity(pass *Pass) {
+	path := pass.Pkg.Path()
+	if !strings.Contains(path, "/internal/") && !strings.HasPrefix(path, "internal/") {
+		return // API boundary: input/output files are counted, not block I/O
+	}
+	if underEMTree(path) {
+		return // the device layer is where the accounting lives
+	}
+	if strings.HasSuffix(path, "/internal/analysis") || strings.Contains(path, "/internal/analysis/") {
+		return // the analyzers read Go source and export data, not blocks
+	}
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+
+			// Package-level calls: os.* / syscall.*.
+			if pkgName, ok := pass.pkgOf(sel.X); ok {
+				switch {
+				case pkgName == "os" && osFileIOFuncs[name]:
+					pass.Report(call.Pos(),
+						"raw file I/O `os."+name+"` bypasses em.Device accounting",
+						"route block traffic through em.Device, or wrap boundary files in em.CountingReader/Writer and baseline the harness")
+				case pkgName == "syscall" && syscallIOFuncs[name]:
+					pass.Report(call.Pos(),
+						"raw syscall I/O `syscall."+name+"` bypasses em.Device accounting",
+						"route block traffic through em.Device")
+				}
+				return true
+			}
+
+			recv, ok := pass.Info.Types[sel.X]
+			if !ok {
+				return true
+			}
+			// Direct backend method calls: the Device's private substrate.
+			if backendMethods[name] && isEMBackendType(recv.Type) {
+				pass.Report(call.Pos(),
+					"direct backend `"+name+"` skips the em.Stats read/write counters",
+					"use em.Device.ReadBlock/WriteBlock so the transfer is charged to a category")
+				return true
+			}
+			// (*os.File) data methods.
+			if osFileMethods[name] && isOSFile(recv.Type) {
+				pass.Report(call.Pos(),
+					"direct os.File `"+name+"` bypasses em.Device accounting",
+					"route block traffic through em.Device")
+			}
+			return true
+		})
+	}
+}
+
+// pkgOf reports the package a bare-identifier selector base names.
+func (p *Pass) pkgOf(e ast.Expr) (string, bool) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if obj, ok := p.Info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path(), true
+		}
+	}
+	return "", false
+}
+
+// isEMBackendType reports whether t is a named type declared in the em
+// layer that carries backend I/O methods, or the em.Backend interface
+// itself (including interfaces embedding it).
+func isEMBackendType(t types.Type) bool {
+	named := namedOrPointee(t)
+	if named == nil {
+		// An unnamed interface (e.g. a local alias) still counts if it
+		// demands positional I/O.
+		if iface, ok := t.Underlying().(*types.Interface); ok {
+			return hasReadWriteAt(iface)
+		}
+		return false
+	}
+	if !declaredInEM(named.Obj()) {
+		return false
+	}
+	if iface, ok := named.Underlying().(*types.Interface); ok {
+		return hasReadWriteAt(iface)
+	}
+	// Concrete em types: only those that actually expose backend I/O.
+	for i := 0; i < named.NumMethods(); i++ {
+		if backendMethods[named.Method(i).Name()] {
+			return true
+		}
+	}
+	return false
+}
+
+// hasReadWriteAt reports whether the interface includes positional I/O.
+func hasReadWriteAt(iface *types.Interface) bool {
+	for i := 0; i < iface.NumMethods(); i++ {
+		if backendMethods[iface.Method(i).Name()] {
+			return true
+		}
+	}
+	return false
+}
+
+// isOSFile reports whether t is *os.File or os.File.
+func isOSFile(t types.Type) bool {
+	named := namedOrPointee(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "File" && obj.Pkg() != nil && obj.Pkg().Path() == "os"
+}

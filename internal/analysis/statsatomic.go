@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StatsAtomic (NV003) closes the counter-tearing gap that `-race -short`
+// can miss: the per-category counters inside em.Stats are sync/atomic
+// values, and every touch must go through the accessor methods declared on
+// Stats (AddReads, Reads, Snapshot, ...). A plain field access anywhere
+// else — even inside package em — can read a torn aggregate, skip the
+// atomic protocol, or copy the atomics (vet's copylocks only catches the
+// copy). The analyzer flags any selection of an em.Stats field from code
+// that is not itself a Stats accessor method.
+var StatsAtomic = &Analyzer{
+	Name: "statsatomic",
+	Code: "NV003",
+	Doc: "report direct accesses to em.Stats counter fields outside the " +
+		"Stats accessor methods, where the atomic protocol is not guaranteed",
+	Run: runStatsAtomic,
+}
+
+func runStatsAtomic(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isStatsMethod(pass, fd) {
+				continue // the accessors themselves implement the protocol
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection, ok := pass.Info.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					return true
+				}
+				field := selection.Obj().(*types.Var)
+				if !declaredInEM(field) {
+					return true
+				}
+				if owner := fieldOwner(selection); owner != nil && owner.Obj().Name() == "Stats" && declaredInEM(owner.Obj()) {
+					pass.Report(sel.Pos(),
+						"direct access to em.Stats field `"+field.Name()+"` bypasses the atomic accessors",
+						"use the Stats accessor methods (AddReads/Reads/Snapshot/...) so every touch follows the atomic protocol")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isStatsMethod reports whether fd is a method with receiver em.Stats or
+// *em.Stats.
+func isStatsMethod(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return false
+	}
+	t, ok := pass.Info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return false
+	}
+	return isEMType(t.Type, "Stats")
+}
+
+// fieldOwner returns the named struct type the selected field belongs to
+// (walking the selection's receiver, not the field's type).
+func fieldOwner(selection *types.Selection) *types.Named {
+	recv := selection.Recv()
+	// Embedded fields make the direct owner differ from the receiver; for
+	// Stats (no embedding) the receiver's named type is the owner.
+	return namedOrPointee(recv)
+}

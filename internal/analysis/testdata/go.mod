@@ -1,0 +1,3 @@
+module nexvet.example
+
+go 1.22

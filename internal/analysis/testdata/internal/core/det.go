@@ -1,0 +1,57 @@
+// Package core exercises detptr (NV004). Its import path ends in
+// /internal/core, which puts it inside the determinism contract's scope.
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func stamp() int64 {
+	t := time.Now() // want "wall-clock read `time.Now`"
+	return t.UnixNano()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock read `time.Since`"
+}
+
+func jitter() int {
+	return rand.Intn(8) // want "global math/rand source `rand.Intn`"
+}
+
+func sum(m map[string]int64) int64 {
+	var total int64
+	for _, v := range m { // want "map iteration order"
+		total += v
+	}
+	return total
+}
+
+// sortedKeys is still flagged: the analyzer reports every map range and
+// leaves proving order-independence to a baseline entry, as the real
+// tree does for em.Stats.String.
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "map iteration order"
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// --- negatives ---
+
+func seeded() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(8)
+}
+
+func sliceWalk(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,149 @@
+// Package fb exercises framebalance (NV001): acquisitions that leak on
+// some path are flagged at the acquire site; releases, deferred releases,
+// error-guarded acquisitions, ownership transfers, and worker closures are
+// recognized as discharges.
+package fb
+
+import "nexvet.example/internal/em"
+
+// --- positives: some path reaches a return with the acquisition held ---
+
+func leakOnEarlyReturn(b *em.Budget, cond bool) error {
+	if err := b.Grant(4); err != nil { // want "can reach the return"
+		return err
+	}
+	if cond {
+		return nil // leaks the 4-block grant
+	}
+	b.Release(4)
+	return nil
+}
+
+func mustGrantLeak(b *em.Budget) {
+	b.MustGrant(1) // want "can reach the return"
+}
+
+func acquireFramesLeak(b *em.Budget, cond bool) error {
+	frames, err := b.AcquireFrames(3) // want "can reach the return"
+	if err != nil {
+		return err
+	}
+	if cond {
+		return nil // leaks the frames and their grant
+	}
+	b.ReleaseFrames(frames)
+	return nil
+}
+
+func poolLeak(p *em.FramePool, cond bool) {
+	f := p.Acquire() // want "can reach the return"
+	if cond {
+		return // leaks the frame
+	}
+	p.Release(f)
+}
+
+func switchLeak(b *em.Budget, mode int) {
+	b.MustGrant(2) // want "can reach the return"
+	switch mode {
+	case 0:
+		b.Release(2)
+	case 1:
+		// leaks on this arm
+	default:
+		b.Release(2)
+	}
+}
+
+var _ = func(b *em.Budget) {
+	b.MustGrant(1) // want "can reach the return"
+}
+
+// --- negatives: every path discharges ---
+
+func balanced(b *em.Budget, cond bool) error {
+	if err := b.Grant(4); err != nil {
+		return err
+	}
+	if cond {
+		b.Release(4)
+		return nil
+	}
+	b.Release(4)
+	return nil
+}
+
+func deferred(b *em.Budget) error {
+	if err := b.Grant(2); err != nil {
+		return err
+	}
+	defer b.Release(2)
+	return nil
+}
+
+func deferredFrames(b *em.Budget) error {
+	frames, err := b.AcquireFrames(3)
+	if err != nil {
+		return err
+	}
+	defer b.ReleaseFrames(frames)
+	_ = frames
+	return nil
+}
+
+// writer owns a grant for its lifetime; newWriter hands the budget to it.
+type writer struct {
+	budget *em.Budget
+	blocks int
+}
+
+func newWriter(budget *em.Budget) (*writer, error) {
+	if err := budget.Grant(2); err != nil {
+		return nil, err
+	}
+	return &writer{budget: budget, blocks: 2}, nil
+}
+
+func (w *writer) Close() {
+	w.budget.Release(w.blocks)
+}
+
+// worker dispatch: the closure takes the obligation with it.
+func worker(b *em.Budget) error {
+	if err := b.Grant(8); err != nil {
+		return err
+	}
+	go func() {
+		defer b.Release(8)
+	}()
+	return nil
+}
+
+// env-style indirection: an alias of the canonical chain releases it.
+type env struct {
+	Budget *em.Budget
+}
+
+func aliasedRelease(e *env) error {
+	bb := e.Budget
+	if err := bb.Grant(1); err != nil {
+		return err
+	}
+	e.Budget.Release(1)
+	return nil
+}
+
+// returned frame: ownership moves to the caller.
+func handOff(p *em.FramePool) em.Frame {
+	f := p.Acquire()
+	return f
+}
+
+// panic path needs no release: it never returns.
+func panicPath(b *em.Budget, cond bool) {
+	b.MustGrant(1)
+	if cond {
+		panic("structural invariant broken")
+	}
+	b.Release(1)
+}

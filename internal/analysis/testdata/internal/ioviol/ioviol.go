@@ -1,0 +1,48 @@
+// Package ioviol exercises iopurity (NV002): raw os/syscall file I/O and
+// direct backend positional I/O are flagged outside the em tree; traffic
+// through em.Device is not.
+package ioviol
+
+import (
+	"os"
+	"syscall"
+
+	"nexvet.example/internal/em"
+)
+
+func stage(path string) error {
+	f, err := os.Create(path) // want "raw file I/O `os.Create`"
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write([]byte("payload")) // want "direct os.File `Write`"
+	return err
+}
+
+func slurp(path string) ([]byte, error) {
+	return os.ReadFile(path) // want "raw file I/O `os.ReadFile`"
+}
+
+func rawBackend(b em.Backend, buf []byte) {
+	b.ReadAt(buf, 0)  // want "direct backend `ReadAt`"
+	b.WriteAt(buf, 0) // want "direct backend `WriteAt`"
+}
+
+func rawSyscall(fd int, buf []byte) {
+	syscall.Write(fd, buf) // want "raw syscall I/O `syscall.Write`"
+}
+
+// --- negatives ---
+
+func viaDevice(d *em.Device, f em.Frame) error {
+	if err := d.ReadBlock(0, f); err != nil {
+		return err
+	}
+	return d.WriteBlock(1, f)
+}
+
+func nonIOOsCalls(path string) string {
+	_ = os.Remove(path) // removal is metadata, not block traffic
+	return os.Getenv("HOME")
+}

@@ -1,0 +1,7 @@
+// Package plain sits outside the determinism scope: detptr must stay
+// silent here even though it reads the wall clock.
+package plain
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,19 @@
+// Package statsuse exercises statsatomic (NV003) from outside package em:
+// direct field access on em.Stats is flagged; the accessor methods are the
+// sanctioned route.
+package statsuse
+
+import "nexvet.example/internal/em"
+
+func bump(s *em.Stats) {
+	s.ReadsCount++ // want "direct access to em.Stats field `ReadsCount`"
+}
+
+func read(s *em.Stats) int64 {
+	return s.ReadsCount // want "direct access to em.Stats field `ReadsCount`"
+}
+
+func viaAccessors(s *em.Stats) int64 {
+	s.AddReads(2)
+	return s.Reads() + s.Writes()
+}

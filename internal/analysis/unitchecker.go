@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+)
+
+// This file implements the `go vet -vettool` unit-checker protocol with the
+// standard library only (x/tools' unitchecker is off-limits — stdlib-only
+// repo). The driver (cmd/go) probes the tool three ways:
+//
+//	nexvet -V=full     print a version line unique to this build (cache key)
+//	nexvet -flags      print the tool's analyzer flags as JSON (none here)
+//	nexvet <file.cfg>  analyze one package described by the JSON config,
+//	                   write the facts file the driver expects, print
+//	                   diagnostics to stderr, exit 1 if any
+//
+// The config hands us pre-parsed build facts: source files, the import map
+// (import spelling → canonical path) and the export-data file for every
+// dependency, compiled by the driver before it invoked us.
+
+// vetConfig is the subset of cmd/go's vet config nexvet consumes. Unknown
+// fields are ignored by encoding/json, which keeps this robust across
+// toolchain releases.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion implements -V=full. The line doubles as cmd/go's content
+// hash for the tool, so it embeds a digest of the executable: rebuilds
+// with changed analyzers invalidate the driver's vet cache.
+func PrintVersion(w io.Writer, progname string) {
+	digest := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			digest = fmt.Sprintf("%x", sha256.Sum256(data))[:24]
+		}
+	}
+	fmt.Fprintf(w, "%s version devel buildID=%s\n", progname, digest)
+}
+
+// PrintFlags implements -flags: nexvet exposes no analyzer-selection
+// flags to the driver.
+func PrintFlags(w io.Writer) {
+	fmt.Fprintln(w, "[]")
+}
+
+// RunUnitchecker analyzes the single package described by cfgFile and
+// returns its non-baselined diagnostics. Baseline entries are resolved
+// against baselinePath when non-empty (stale-entry enforcement is the
+// standalone runner's job — a unit checker sees one package at a time).
+func RunUnitchecker(cfgFile string, baselinePath string) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, fmt.Errorf("nexvet: reading vet config: %v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("nexvet: parsing vet config %s: %v", cfgFile, err)
+	}
+
+	// The driver expects the facts file to exist after a successful run,
+	// whatever its content; nexvet's analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("nexvet: no facts\n"), 0o666); err != nil {
+			return nil, fmt.Errorf("nexvet: writing facts file: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	pkg, err := typeCheck(fset, imp, cfg.ImportPath, "", cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+
+	diags := RunAnalyzers([]*Package{pkg}, All())
+	if baselinePath != "" {
+		baseline, err := LoadBaseline(baselinePath)
+		if err != nil {
+			return nil, err
+		}
+		diags, _ = baseline.Filter(diags)
+	}
+	return diags, nil
+}
