@@ -33,7 +33,7 @@ var jsonOut bool
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: table1|table2|fig5|fig6|fig7|threshold|bounds|ablation|parallel|alloc|all")
+		exp       = flag.String("exp", "all", "experiment: table1|table2|fig5|fig6|fig7|threshold|bounds|ablation|parallel|alloc|cmp|all")
 		scale     = flag.Float64("scale", 1.0, "input size multiplier (1.0 ≈ seconds per experiment)")
 		scratch   = flag.String("scratch", "", "scratch directory for workloads and spill (default: memory-backed spill, temp-dir workloads)")
 		seed      = flag.Int64("seed", 1, "workload seed")
@@ -42,6 +42,7 @@ func main() {
 		retryBase = flag.Duration("retry-delay", 0, "backoff before the first retry, doubling per attempt")
 		parallel  = flag.Int("parallel", 0, "worker parallelism for every experiment environment (0 = GOMAXPROCS, 1 = sequential); block-transfer counts are unaffected")
 		jsonFlag  = flag.Bool("json", false, "emit each result table as one JSON object per line instead of aligned text")
+		cmpOut    = flag.String("cmp-out", "BENCH_cmp.json", "output path for the cmp experiment's machine-readable rows")
 	)
 	flag.Parse()
 	jsonOut = *jsonFlag
@@ -169,6 +170,36 @@ func main() {
 				return err
 			}
 			printTable(bench.AllocTable(rows))
+			return nil
+		})
+	}
+	if want("cmp") {
+		ran = true
+		run("Comparison kernel (normalized keys, loser tree)", func() error {
+			rows, err := bench.Cmp(bench.CmpConfig{Scale: s, Seed: *seed})
+			if err != nil {
+				return err
+			}
+			printTable(bench.CmpTable(rows))
+			// The machine-readable result rides next to the rendered
+			// table: one JSON document with the raw rows, for CI smoke
+			// checks and cross-run diffing.
+			f, err := os.Create(*cmpOut)
+			if err != nil {
+				return err
+			}
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rows); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			if !jsonOut {
+				fmt.Printf("(comparison-kernel rows written to %s)\n", *cmpOut)
+			}
 			return nil
 		})
 	}

@@ -34,8 +34,8 @@ var DetPtr = &Analyzer{
 var detScopes = []string{
 	"/internal/em", "/internal/core", "/internal/extsort", "/internal/merge",
 	"/internal/xstack", "/internal/runstore", "/internal/compact",
-	"/internal/keypath", "/internal/keys", "/internal/xmltok",
-	"/internal/xmltree",
+	"/internal/keypath", "/internal/keys", "/internal/sortkey",
+	"/internal/xmltok", "/internal/xmltree",
 }
 
 // inDetScope reports whether the package path (or a parent) is under the

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -10,6 +9,7 @@ import (
 	"nexsort/internal/extsort"
 	"nexsort/internal/keypath"
 	"nexsort/internal/runstore"
+	"nexsort/internal/sortkey"
 	"nexsort/internal/xmltok"
 	"nexsort/internal/xmltree"
 )
@@ -21,7 +21,7 @@ import (
 // bounds sorting to the top relLimit levels: deeper elements degrade to the
 // empty key, so the (key, seq) order reduces to document order there.
 func keyPathSortTokens(env *em.Env, src xmltree.TokenSource, relLimit int, w *runstore.Writer) error {
-	sorter, err := extsort.New(env, em.CatSubtreeSort, keypath.CompareEncoded, env.Budget.Free())
+	sorter, err := extsort.NewKernel(env, em.CatSubtreeSort, sortkey.KeyPath(), env.Budget.Free())
 	if err != nil {
 		return err
 	}
@@ -96,7 +96,10 @@ func (s *sorter) buildKeySidecar(start int64) (*keySidecar, error) {
 	if err != nil {
 		return nil, err
 	}
-	sorter, err := extsort.New(s.env, em.CatSubtreeSort, compareSidecar, sidecarBlocks)
+	// The sidecar sorts on the first 8 raw bytes — the big-endian preorder
+	// index — which is already a normalized key, so the kernel is a pure
+	// fixed-prefix memcmp.
+	sorter, err := extsort.NewKernel(s.env, em.CatSubtreeSort, sortkey.FixedPrefix(8), sidecarBlocks)
 	if err != nil {
 		reader.Close()
 		return nil, err
@@ -140,8 +143,6 @@ func (s *sorter) buildKeySidecar(start int64) (*keySidecar, error) {
 	}
 	return &keySidecar{sorter: sorter, it: it}, nil
 }
-
-func compareSidecar(a, b []byte) int { return bytes.Compare(a[:8], b[:8]) }
 
 // keySidecar iterates (preorder index, key) records in preorder.
 type keySidecar struct {
@@ -212,34 +213,11 @@ func encodeChildRecord(dst []byte, node *xmltree.Node, seq int64) ([]byte, error
 	return dst, nil
 }
 
-// compareChildRecords orders encoded child records by (key, seq).
-func compareChildRecords(a, b []byte) int {
-	ca := &sliceCursor{buf: a}
-	cb := &sliceCursor{buf: b}
-	ka := readCursorString(ca)
-	kb := readCursorString(cb)
-	if ka != kb {
-		if ka < kb {
-			return -1
-		}
-		return 1
-	}
-	sa, _ := binary.ReadUvarint(ca)
-	sb, _ := binary.ReadUvarint(cb)
-	switch {
-	case sa < sb:
-		return -1
-	case sa > sb:
-		return 1
-	default:
-		return 0
-	}
-}
-
 // newChildRecordSorter builds the merger for graceful degeneration using
-// all remaining budget.
+// all remaining budget. The (key, seq) header is exactly sortkey's KeySeq
+// format, so the sorter compares child records without decoding them.
 func newChildRecordSorter(env *em.Env) (*extsort.Sorter, error) {
-	return extsort.New(env, em.CatSubtreeSort, compareChildRecords, env.Budget.Free())
+	return extsort.NewKernel(env, em.CatSubtreeSort, sortkey.KeySeq(), env.Budget.Free())
 }
 
 // drainChildRecords streams sorted child records into a run, stripping the
@@ -260,7 +238,9 @@ func drainChildRecords(sorter *extsort.Sorter, w *runstore.Writer) error {
 			return err
 		}
 		cur := &sliceCursor{buf: raw}
-		readCursorString(cur) // key
+		if err := skipCursorString(cur); err != nil { // key
+			return fmt.Errorf("core: corrupt child record: %w", err)
+		}
 		if _, err := binary.ReadUvarint(cur); err != nil {
 			return fmt.Errorf("core: corrupt child record: %w", err)
 		}
@@ -303,12 +283,17 @@ func (c *sliceCursor) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-func readCursorString(c *sliceCursor) string {
+// skipCursorString advances past a uvarint-prefixed string without
+// materializing it; a length overrunning the buffer is an error, not an
+// empty string.
+func skipCursorString(c *sliceCursor) error {
 	n, err := binary.ReadUvarint(c)
-	if err != nil || c.pos+int(n) > len(c.buf) {
-		return ""
+	if err != nil {
+		return err
 	}
-	s := string(c.buf[c.pos : c.pos+int(n)])
+	if n > uint64(len(c.buf)-c.pos) {
+		return io.ErrUnexpectedEOF
+	}
 	c.pos += int(n)
-	return s
+	return nil
 }

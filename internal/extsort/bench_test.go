@@ -8,6 +8,9 @@ import (
 	"testing"
 
 	"nexsort/internal/em"
+	"nexsort/internal/keypath"
+	"nexsort/internal/sortkey"
+	"nexsort/internal/xmltok"
 )
 
 // BenchmarkSorterExternal measures a genuinely external record sort
@@ -78,6 +81,68 @@ func BenchmarkFramePool(b *testing.B) {
 			b.Fatal(err)
 		}
 		s, err := New(env, em.CatMergeRun, func(a, c []byte) int { return bytes.Compare(a, c) }, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := s.Add(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		it, err := s.Sort()
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			if _, err := it.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != len(recs) {
+			b.Fatalf("%d records out", n)
+		}
+		it.Close()
+		s.Close()
+		env.Close()
+	}
+}
+
+// BenchmarkKeyPathSorterExternal measures the external sort on its product
+// workload: keypath-encoded records under the comparison kernel (normalized
+// key prefixes + loser-tree merge). This is the configuration SortXML and
+// core's subtree sorts run, so its ns/op is the end-to-end figure for the
+// sort hot path.
+func BenchmarkKeyPathSorterExternal(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	keyPool := []string{"", "NE", "SW", "alpha", "beta", "gamma", "delta"}
+	recs := make([][]byte, 20000)
+	var bytesTotal int64
+	for i := range recs {
+		depth := 1 + rng.Intn(6)
+		rec := keypath.Record{Path: make([]keypath.Component, depth)}
+		for d := range rec.Path {
+			rec.Path[d] = keypath.Component{
+				Key: keyPool[rng.Intn(len(keyPool))],
+				Seq: int64(rng.Intn(40)),
+			}
+		}
+		rec.Tok = xmltok.Token{Kind: xmltok.KindText, Text: fmt.Sprintf("text-%06d", i)}
+		recs[i] = keypath.AppendRecord(nil, rec)
+		bytesTotal += int64(len(recs[i]))
+	}
+	b.SetBytes(bytesTotal)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env, err := em.NewEnv(em.Config{BlockSize: 4096, MemBlocks: 16, Parallelism: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := NewKernel(env, em.CatMergeRun, sortkey.KeyPath(), 14)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -18,20 +18,39 @@
 package extsort
 
 import (
-	"container/heap"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"sync"
 
 	"nexsort/internal/em"
+	"nexsort/internal/sortkey"
 )
 
 // Compare is a total order over encoded records. Comparators must be safe
 // for concurrent use (the library's are pure functions): at parallelism
 // above one, several runs may be sorting on pool workers at once.
 type Compare func(a, b []byte) int
+
+// keyPrefixLen is the inline normalized-key prefix kept next to every
+// buffered record and merge cursor. Comparisons hit this fixed-size,
+// zero-padded array first — one memcmp, no pointer chase — and fall back
+// to the full comparator only on a prefix tie. 16 bytes covers the first
+// two-or-so path components of a key-path record; the zero padding keeps
+// the truncated comparison decisive (a differing padded prefix always
+// agrees with the full key order, see internal/sortkey).
+const keyPrefixLen = 16
+
+// entry is one buffered record: the normalized-key prefix inline, then
+// the record bytes in the batch arena. Run formation sorts a flat []entry
+// with slices.SortFunc — cache-friendly sequential key access, no
+// reflection-based swapping.
+type entry struct {
+	key [keyPrefixLen]byte
+	rec []byte
+}
 
 // Sorter sorts byte records within a fixed block budget. Create with New,
 // feed with Add, then call Sort once; the returned iterator yields records
@@ -52,12 +71,16 @@ type Sorter struct {
 	env *em.Env
 	cat em.Category
 	cmp Compare
+	// keyer generates normalized-key prefixes (sortkey.Kernel.AppendKey);
+	// nil means every comparison goes through cmp directly.
+	keyer func(dst, rec []byte, max int) []byte
 
 	memBlocks int
 	bufLimit  int // record bytes buffered before a run is cut
 
-	records  [][]byte
-	arena    *recArena // frame-backed storage behind records
+	entries  []entry
+	keyBuf   []byte    // reused normalized-key scratch for Add
+	arena    *recArena // frame-backed storage behind entry records
 	bufBytes int
 	runs     []*em.Stream
 
@@ -89,8 +112,20 @@ type Stats struct {
 // New creates a sorter that may use memBlocks blocks of main memory,
 // granted from env's budget immediately. memBlocks must be at least 3 (two
 // input/buffer blocks plus one output block is the smallest merge that
-// makes progress).
+// makes progress). Every comparison goes through cmp; callers with an
+// order-preserving normalized-key encoding should prefer NewKernel, which
+// turns most comparisons into inline-prefix memcmps.
 func New(env *em.Env, cat em.Category, cmp Compare, memBlocks int) (*Sorter, error) {
+	return NewKernel(env, cat, sortkey.Kernel{Compare: cmp}, memBlocks)
+}
+
+// NewKernel creates a sorter driven by a comparison kernel: k.Compare is
+// the record order, and k.AppendKey (when non-nil) supplies the
+// order-preserving normalized keys whose first keyPrefixLen bytes are
+// cached inline with every buffered record and merge cursor. The kernel
+// changes how comparisons execute, never their outcome, so output bytes
+// and I/O counts are identical to a plain New sorter with the same order.
+func NewKernel(env *em.Env, cat em.Category, k sortkey.Kernel, memBlocks int) (*Sorter, error) {
 	if memBlocks < 3 {
 		return nil, fmt.Errorf("extsort: need at least 3 memory blocks, got %d", memBlocks)
 	}
@@ -100,7 +135,8 @@ func New(env *em.Env, cat em.Category, cmp Compare, memBlocks int) (*Sorter, err
 	return &Sorter{
 		env:       env,
 		cat:       cat,
-		cmp:       cmp,
+		cmp:       k.Compare,
+		keyer:     k.AppendKey,
 		memBlocks: memBlocks,
 		bufLimit:  (memBlocks - 1) * env.Conf.BlockSize,
 		arena:     newRecArena(env.Dev.Frames(), memBlocks-1),
@@ -114,7 +150,12 @@ func (s *Sorter) Add(rec []byte) error {
 	if s.sorted {
 		return fmt.Errorf("extsort: Add after Sort")
 	}
-	s.records = append(s.records, s.arena.alloc(rec))
+	e := entry{rec: s.arena.alloc(rec)}
+	if s.keyer != nil {
+		s.keyBuf = s.keyer(s.keyBuf[:0], rec, keyPrefixLen)
+		copy(e.key[:], s.keyBuf) // zero-padded when the key is shorter
+	}
+	s.entries = append(s.entries, e)
 	s.bufBytes += len(rec)
 	s.totalRecords++
 	s.totalBytes += int64(len(rec))
@@ -184,7 +225,7 @@ func (s *Sorter) cutRun() error {
 	if err := s.err(); err != nil {
 		return err
 	}
-	if len(s.records) == 0 {
+	if len(s.entries) == 0 {
 		return nil
 	}
 	s.mu.Lock()
@@ -201,9 +242,9 @@ func (s *Sorter) cutRun() error {
 		if err := s.env.Budget.Grant(s.memBlocks); err != nil {
 			s.env.Pool().Release()
 		} else {
-			recs := s.records
+			batch := s.entries
 			arena := s.arena
-			s.records = nil
+			s.entries = nil
 			s.arena = newRecArena(s.env.Dev.Frames(), s.memBlocks-1)
 			s.bufBytes = 0
 			s.wg.Add(1)
@@ -223,7 +264,7 @@ func (s *Sorter) cutRun() error {
 				// The batch's records live in its arena; recycle the frames
 				// once the spill is done, before the grant is returned.
 				defer arena.release()
-				run, err := s.writeRun(recs)
+				run, err := s.writeRun(batch)
 				s.mu.Lock()
 				if err != nil {
 					if s.firstErr == nil {
@@ -238,23 +279,43 @@ func (s *Sorter) cutRun() error {
 		}
 	}
 
-	run, err := s.writeRun(s.records)
+	run, err := s.writeRun(s.entries)
 	if err != nil {
 		return err
 	}
 	s.mu.Lock()
 	s.runs[slot] = run
 	s.mu.Unlock()
-	s.records = s.records[:0]
+	s.entries = s.entries[:0]
 	s.arena.release()
 	s.bufBytes = 0
 	return nil
 }
 
+// sortEntries orders one batch in place. With a keyer, most comparisons
+// resolve on the inline prefixes — a fixed-size memcmp over data the sort
+// is already touching — and only prefix ties pay for the full comparator.
+// Without one, the order is cmp alone. Either way the order is the total
+// order of the kernel, so run contents are independent of which path
+// resolved each comparison.
+func (s *Sorter) sortEntries(entries []entry) {
+	if s.keyer == nil {
+		slices.SortFunc(entries, func(a, b entry) int { return s.cmp(a.rec, b.rec) })
+		return
+	}
+	slices.SortFunc(entries, func(a, b entry) int {
+		if c := bytes.Compare(a.key[:], b.key[:]); c != 0 {
+			return c
+		}
+		return s.cmp(a.rec, b.rec)
+	})
+}
+
 // writeRun sorts one complete batch and spills it as a length-prefixed run.
-// It touches no Sorter state besides env/cat/cmp, so it is safe on a worker.
-func (s *Sorter) writeRun(records [][]byte) (*em.Stream, error) {
-	sort.Slice(records, func(i, j int) bool { return s.cmp(records[i], records[j]) < 0 })
+// It touches no Sorter state besides env/cat/cmp/keyer, so it is safe on a
+// worker.
+func (s *Sorter) writeRun(batch []entry) (*em.Stream, error) {
+	s.sortEntries(batch)
 	run := em.NewStream(s.env.Dev, s.cat)
 	w, err := run.NewWriter(nil) // accounted under this sorter's grant
 	if err != nil {
@@ -264,12 +325,12 @@ func (s *Sorter) writeRun(records [][]byte) (*em.Stream, error) {
 	// pool even when the spill fails mid-run.
 	defer w.Close()
 	var lenBuf [binary.MaxVarintLen64]byte
-	for _, rec := range records {
-		n := binary.PutUvarint(lenBuf[:], uint64(len(rec)))
+	for _, e := range batch {
+		n := binary.PutUvarint(lenBuf[:], uint64(len(e.rec)))
 		if _, err := w.Write(lenBuf[:n]); err != nil {
 			return nil, err
 		}
-		if _, err := w.Write(rec); err != nil {
+		if _, err := w.Write(e.rec); err != nil {
 			return nil, err
 		}
 	}
@@ -330,8 +391,8 @@ func (s *Sorter) Sort() (*Iterator, error) {
 	// Fast path: everything fit in memory, no run was ever cut (and hence
 	// no worker is in flight — workers exist only for cut runs).
 	if len(s.runs) == 0 {
-		sort.Slice(s.records, func(i, j int) bool { return s.cmp(s.records[i], s.records[j]) < 0 })
-		return &Iterator{mem: s.records}, nil
+		s.sortEntries(s.entries)
+		return &Iterator{mem: s.entries}, nil
 	}
 	if err := s.cutRun(); err != nil {
 		return nil, err
@@ -365,41 +426,101 @@ func (s *Sorter) Sort() (*Iterator, error) {
 	return &Iterator{run: r}, nil
 }
 
-// mergeRuns merges the given runs into a single new run.
+// mergeCursor tracks one input run during a k-way merge: its reader, the
+// current record, and that record's normalized-key prefix cached inline so
+// the loser tree's matches are one memcmp over data already in the cursor
+// slice — no pointer chase into the run buffers on the compare path.
+type mergeCursor struct {
+	key    [keyPrefixLen]byte
+	r      *runReader
+	rec    []byte
+	idx    int
+	eof    bool
+	closed bool
+}
+
+// mergeRuns merges the given runs into a single new run, selecting the
+// minimum with a tree of losers (see internal/sortkey): ⌈log₂k⌉ matches
+// per record against the binary heap's two-per-level sift. Exhausted runs
+// stay in the tree ranked after every live one, so the merge ends when the
+// winner is at EOF. The selection order — comparator, then run index on
+// ties — is exactly the heap's, so output bytes are unchanged.
 func (s *Sorter) mergeRuns(runs []*em.Stream) (_ *em.Stream, retErr error) {
 	if len(runs) == 1 {
 		return runs[0], nil
 	}
-	h := &mergeHeap{cmp: s.cmp}
+	cursors := make([]mergeCursor, len(runs))
 	var w *em.StreamWriter
 	defer func() {
 		// On failure, close whatever is still open so every buffer frame
 		// returns to the pool; the half-written run is abandoned.
 		if retErr != nil {
-			for _, cur := range h.cursors {
-				cur.r.close()
+			for i := range cursors {
+				if cursors[i].r != nil && !cursors[i].closed {
+					cursors[i].r.close()
+				}
 			}
 			if w != nil {
 				w.Close()
 			}
 		}
 	}()
+	var kbuf []byte
+	// load advances a cursor to its run's next record, refreshing the inline
+	// key prefix; at EOF the reader is closed immediately (its buffer frame
+	// goes back to the pool while the merge continues) and the cursor is
+	// marked exhausted.
+	load := func(cur *mergeCursor) error {
+		rec, err := cur.r.next()
+		if err == io.EOF {
+			cur.r.close()
+			cur.closed = true
+			cur.eof = true
+			cur.rec = nil
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		cur.rec = rec
+		if s.keyer != nil {
+			kbuf = s.keyer(kbuf[:0], rec, keyPrefixLen)
+			n := copy(cur.key[:], kbuf)
+			for i := n; i < keyPrefixLen; i++ {
+				cur.key[i] = 0
+			}
+		}
+		return nil
+	}
 	for i, run := range runs {
 		r, err := newRunReader(run)
 		if err != nil {
 			return nil, err
 		}
-		rec, err := r.next()
-		if err == io.EOF {
-			r.close()
-			continue
-		}
-		if err != nil {
-			r.close()
+		cursors[i] = mergeCursor{r: r, idx: i}
+		if err := load(&cursors[i]); err != nil {
 			return nil, err
 		}
-		heap.Push(h, &mergeCursor{r: r, rec: rec, idx: i})
 	}
+	less := func(a, b int32) bool {
+		ca, cb := &cursors[a], &cursors[b]
+		if ca.eof != cb.eof {
+			return !ca.eof
+		}
+		if ca.eof {
+			return ca.idx < cb.idx
+		}
+		if s.keyer != nil {
+			if c := bytes.Compare(ca.key[:], cb.key[:]); c != 0 {
+				return c < 0
+			}
+		}
+		if c := s.cmp(ca.rec, cb.rec); c != 0 {
+			return c < 0
+		}
+		return ca.idx < cb.idx
+	}
+	tree := sortkey.NewLoserTree(len(cursors), less)
 	out := em.NewStream(s.env.Dev, s.cat)
 	var err error
 	w, err = out.NewWriter(nil)
@@ -407,8 +528,11 @@ func (s *Sorter) mergeRuns(runs []*em.Stream) (_ *em.Stream, retErr error) {
 		return nil, err
 	}
 	var lenBuf [binary.MaxVarintLen64]byte
-	for h.Len() > 0 {
-		cur := h.cursors[0]
+	for {
+		cur := &cursors[tree.Winner()]
+		if cur.eof {
+			break
+		}
 		n := binary.PutUvarint(lenBuf[:], uint64(len(cur.rec)))
 		if _, err := w.Write(lenBuf[:n]); err != nil {
 			return nil, err
@@ -416,17 +540,10 @@ func (s *Sorter) mergeRuns(runs []*em.Stream) (_ *em.Stream, retErr error) {
 		if _, err := w.Write(cur.rec); err != nil {
 			return nil, err
 		}
-		rec, err := cur.r.next()
-		if err == io.EOF {
-			cur.r.close()
-			heap.Pop(h)
-			continue
-		}
-		if err != nil {
+		if err := load(cur); err != nil {
 			return nil, err
 		}
-		cur.rec = rec
-		heap.Fix(h, 0)
+		tree.Fix()
 	}
 	if err := w.Close(); err != nil {
 		return nil, err
@@ -460,14 +577,14 @@ func (s *Sorter) Close() {
 		// The current batch arena (still referenced by Iterator.mem on the
 		// in-memory fast path) is recycled here, before the grant goes back.
 		s.arena.release()
-		s.records = nil
+		s.entries = nil
 	}()
 	s.drain() //nolint:errcheck // terminal errors were already surfaced by Add/Sort
 }
 
 // Iterator yields sorted records. Exactly one of mem/run is set.
 type Iterator struct {
-	mem [][]byte
+	mem []entry
 	i   int
 	run *runReader
 }
@@ -481,7 +598,7 @@ func (it *Iterator) Next() ([]byte, error) {
 	if it.i >= len(it.mem) {
 		return nil, io.EOF
 	}
-	rec := it.mem[it.i]
+	rec := it.mem[it.i].rec
 	it.i++
 	return rec, nil
 }
@@ -530,33 +647,3 @@ func (r *runReader) next() ([]byte, error) {
 }
 
 func (r *runReader) close() { r.sr.Close() }
-
-// mergeHeap is a min-heap of run cursors ordered by the comparator, with
-// the run index as a deterministic tie-break.
-type mergeHeap struct {
-	cursors []*mergeCursor
-	cmp     Compare
-}
-
-type mergeCursor struct {
-	r   *runReader
-	rec []byte
-	idx int
-}
-
-func (h mergeHeap) Len() int { return len(h.cursors) }
-func (h mergeHeap) Less(i, j int) bool {
-	c := h.cmp(h.cursors[i].rec, h.cursors[j].rec)
-	if c != 0 {
-		return c < 0
-	}
-	return h.cursors[i].idx < h.cursors[j].idx
-}
-func (h mergeHeap) Swap(i, j int) { h.cursors[i], h.cursors[j] = h.cursors[j], h.cursors[i] }
-func (h *mergeHeap) Push(x any)   { h.cursors = append(h.cursors, x.(*mergeCursor)) }
-func (h *mergeHeap) Pop() any {
-	old := h.cursors
-	x := old[len(old)-1]
-	h.cursors = old[:len(old)-1]
-	return x
-}

@@ -8,6 +8,7 @@ import (
 	"nexsort/internal/em"
 	"nexsort/internal/keypath"
 	"nexsort/internal/keys"
+	"nexsort/internal/sortkey"
 	"nexsort/internal/xmltok"
 )
 
@@ -79,7 +80,10 @@ func SortXML(env *em.Env, c *keys.Criterion, in io.Reader, out io.Writer, opts X
 	}
 	defer env.Budget.Release(2)
 
-	sorter, err := New(env, em.CatMergeRun, keypath.CompareEncoded, env.Budget.Free())
+	// The key-path kernel: record order via the normalized-key comparator,
+	// with inline key prefixes accelerating both run formation and the
+	// k-way merge (see internal/sortkey).
+	sorter, err := NewKernel(env, em.CatMergeRun, sortkey.KeyPath(), env.Budget.Free())
 	if err != nil {
 		return nil, err
 	}

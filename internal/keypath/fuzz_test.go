@@ -1,0 +1,50 @@
+package keypath
+
+import (
+	"bytes"
+	"testing"
+
+	"nexsort/internal/xmltok"
+)
+
+// FuzzCompareEncodedAgreesWithDecoded pins CompareEncoded (now the
+// sortkey comparison kernel) to the semantic order: whenever both inputs
+// decode as records, the encoded comparison must rank them exactly as
+// Record.Compare ranks the decoded paths. Undecodable inputs are still
+// exercised for antisymmetry — the defined malformed-record order — but
+// have no decoded order to agree with.
+func FuzzCompareEncodedAgreesWithDecoded(f *testing.F) {
+	rec := func(r Record) []byte { return AppendRecord(nil, r) }
+	tok := xmltok.Token{Kind: xmltok.KindText, Text: "t"}
+	seeds := [][]byte{
+		rec(Record{Path: []Component{{Key: "", Seq: 0}}, Tok: tok}),
+		rec(Record{Path: []Component{{Key: "", Seq: 0}, {Key: "NE", Seq: 2}}, Tok: tok}),
+		rec(Record{Path: []Component{{Key: "", Seq: 0}, {Key: "NE", Seq: 2}, {Key: "a\x00b", Seq: 300}}, Tok: tok}),
+		rec(Record{Path: []Component{{Key: "zz", Seq: 1}}, Tok: tok}),
+		{2, 1, 'A', 1},    // truncated path
+		{1, 200, 'x'},     // key length overrun
+		{1, 1, 'A', 0x80}, // seq cut mid-varint
+	}
+	for _, a := range seeds {
+		for _, b := range seeds {
+			f.Add(a, b)
+		}
+	}
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		got := CompareEncoded(a, b)
+		back := CompareEncoded(b, a)
+		if (got < 0) != (back > 0) || (got == 0) != (back == 0) {
+			t.Fatalf("antisymmetry: cmp(a,b)=%d cmp(b,a)=%d for a=%x b=%x", got, back, a, b)
+		}
+		ra, errA := ReadRecord(bytes.NewReader(a))
+		rb, errB := ReadRecord(bytes.NewReader(b))
+		if errA != nil || errB != nil {
+			return
+		}
+		want := ra.Compare(rb)
+		if (got < 0) != (want < 0) || (got == 0) != (want == 0) {
+			t.Fatalf("CompareEncoded = %d but decoded Record.Compare = %d\n a=%x (%v)\n b=%x (%v)",
+				got, want, a, ra.Path, b, rb.Path)
+		}
+	})
+}

@@ -22,8 +22,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
+	"nexsort/internal/sortkey"
 	"nexsort/internal/xmltok"
 )
 
@@ -171,6 +173,11 @@ func (d *Decoder) ReadRecord(r io.ByteReader) (Record, error) {
 		if err != nil {
 			return Record{}, unexpected(err)
 		}
+		if seq > math.MaxInt64 {
+			// Rejecting the wrap keeps the decoded order (int64 Seq) in
+			// agreement with the encoded comparator (uint64 order).
+			return Record{}, fmt.Errorf("keypath: corrupt record: seq %d overflows", seq)
+		}
 		rec.Path[i] = Component{Key: string(key), Seq: int64(seq)}
 	}
 	tok, err := d.tok.ReadToken(r)
@@ -189,66 +196,14 @@ func ReadRecord(r io.ByteReader) (Record, error) {
 }
 
 // CompareEncoded orders two encoded records without decoding their tokens.
-// It is the comparator handed to the external sorter.
+// It is the comparator handed to the external sorter. The order is defined
+// by internal/sortkey's comparison kernel, whose normalized keys compare
+// identically under bytes.Compare; records that do not decode (truncated or
+// overlong fields) get a defined total order — they sort after every valid
+// continuation at the point of damage instead of silently aliasing to an
+// empty key (see sortkey.CompareKeyPath).
 func CompareEncoded(a, b []byte) int {
-	ra := &byteCursor{buf: a}
-	rb := &byteCursor{buf: b}
-	na, _ := binary.ReadUvarint(ra)
-	nb, _ := binary.ReadUvarint(rb)
-	n := na
-	if nb < n {
-		n = nb
-	}
-	for i := uint64(0); i < n; i++ {
-		ka := ra.readString()
-		kb := rb.readString()
-		if ka != kb {
-			if ka < kb {
-				return -1
-			}
-			return 1
-		}
-		sa, _ := binary.ReadUvarint(ra)
-		sb, _ := binary.ReadUvarint(rb)
-		if sa != sb {
-			if sa < sb {
-				return -1
-			}
-			return 1
-		}
-	}
-	switch {
-	case na < nb:
-		return -1
-	case na > nb:
-		return 1
-	default:
-		return 0
-	}
-}
-
-type byteCursor struct {
-	buf []byte
-	pos int
-}
-
-func (c *byteCursor) ReadByte() (byte, error) {
-	if c.pos >= len(c.buf) {
-		return 0, io.EOF
-	}
-	b := c.buf[c.pos]
-	c.pos++
-	return b, nil
-}
-
-func (c *byteCursor) readString() string {
-	n, err := binary.ReadUvarint(c)
-	if err != nil || c.pos+int(n) > len(c.buf) {
-		return ""
-	}
-	s := string(c.buf[c.pos : c.pos+int(n)])
-	c.pos += int(n)
-	return s
+	return sortkey.CompareKeyPath(a, b)
 }
 
 func unexpected(err error) error {

@@ -28,6 +28,8 @@ package keys
 import (
 	"fmt"
 	"strings"
+
+	"nexsort/internal/sortkey"
 )
 
 // SourceKind enumerates where an element's key comes from.
@@ -186,16 +188,14 @@ func (c *Criterion) Clip(key string) string {
 	return key
 }
 
-// Compare orders two elements by (key, position): keys lexicographically,
-// document position as the tie-break. Text nodes participate with the
-// empty key, so they sort before keyed siblings and keep document order
-// among themselves.
+// Compare orders two elements by (key, position): keys by
+// sortkey.CompareKeys — the shared sibling order every sorter and the
+// structural merge normalize — with document position as the tie-break.
+// Text nodes participate with the empty key, so they sort before keyed
+// siblings and keep document order among themselves.
 func Compare(keyA string, posA int64, keyB string, posB int64) int {
-	if keyA != keyB {
-		if keyA < keyB {
-			return -1
-		}
-		return 1
+	if c := sortkey.CompareKeys(keyA, keyB); c != 0 {
+		return c
 	}
 	switch {
 	case posA < posB:

@@ -28,6 +28,7 @@ import (
 	"runtime"
 
 	"nexsort/internal/keys"
+	"nexsort/internal/sortkey"
 	"nexsort/internal/xmltok"
 )
 
@@ -184,14 +185,14 @@ func (m *merger) mergeChildren(l, r tokStream) error {
 			return err
 		}
 		if lok {
-			if k := siblingOrder(ltok); k < prevL {
+			if k := siblingOrder(ltok); sortkey.CompareKeys(k, prevL) < 0 {
 				return fmt.Errorf("merge: left input is not sorted: key %q after %q under the current parent", k, prevL)
 			} else {
 				prevL = k
 			}
 		}
 		if rok {
-			if k := siblingOrder(rtok); k < prevR {
+			if k := siblingOrder(rtok); sortkey.CompareKeys(k, prevR) < 0 {
 				return fmt.Errorf("merge: right input is not sorted: key %q after %q under the current parent", k, prevR)
 			} else {
 				prevR = k
@@ -209,13 +210,17 @@ func (m *merger) mergeChildren(l, r tokStream) error {
 				return err
 			}
 		default:
+			// Sibling order is sortkey.CompareKeys — the same single
+			// definition of key order the sorters' comparison kernels
+			// normalize, so merge decisions and sort decisions can never
+			// disagree on which subtree comes first.
 			lkey, rkey := siblingOrder(ltok), siblingOrder(rtok)
 			switch {
-			case lkey < rkey:
+			case sortkey.CompareKeys(lkey, rkey) < 0:
 				if err := m.copySubtree(l); err != nil {
 					return err
 				}
-			case rkey < lkey:
+			case sortkey.CompareKeys(rkey, lkey) < 0:
 				if err := m.copySubtree(r); err != nil {
 					return err
 				}

@@ -1,0 +1,106 @@
+package sortkey
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzKeyPathOrder fuzzes the central contract of the package over
+// arbitrary byte strings — valid encodings, truncated ones, garbage:
+//
+//	bytes.Compare(Normalize(a), Normalize(b)) == CompareKeyPath(a, b)
+//
+// plus the properties the sorter builds on: antisymmetry, reflexivity,
+// and that a max-limited key is a true prefix of the full key whose
+// zero-padded fixed-size comparison never contradicts the full order.
+func FuzzKeyPathOrder(f *testing.F) {
+	// Hand-encoded seeds: valid one- and two-component paths, path
+	// prefixes, seq ties, the historic truncation hole (header promising
+	// more components than present), key-length overruns, seq varints cut
+	// mid-byte, and non-minimal varint encodings of the same value.
+	seeds := [][]byte{
+		{},
+		{0x00},
+		{1, 0, 0},
+		{1, 1, 'A', 0},
+		{1, 1, 'A', 1},
+		{2, 1, 'A', 0, 1, 'B', 3},
+		{2, 1, 'A', 0, 1, 'B', 0x83},
+		{1, 3, 'N', 0x00, 'E', 2},
+		{2, 1, 'A', 1}, // truncated: header says 2, one present
+		{1, 50, 'x'},   // key length overruns the buffer
+		{1, 2, 'A', 'C', 0x80},
+		{0x80},             // never-terminating header varint
+		{0x81, 0x00, 0, 0}, // non-minimal encoding of n=1
+		{1, 1, 'a', 0x80, 0x80},
+		{1, 1, 'a', 0x80, 0x81},
+	}
+	for _, a := range seeds {
+		for _, b := range seeds {
+			f.Add(a, b)
+		}
+	}
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		got := sign(CompareKeyPath(a, b))
+		ka := AppendKeyPathKey(nil, a, 0)
+		kb := AppendKeyPathKey(nil, b, 0)
+		if want := sign(bytes.Compare(ka, kb)); got != want {
+			t.Fatalf("CompareKeyPath(%x, %x) = %d, normalized keys order %d\n ka=%x\n kb=%x",
+				a, b, got, want, ka, kb)
+		}
+		if back := sign(CompareKeyPath(b, a)); back != -got {
+			t.Fatalf("antisymmetry: cmp(a,b)=%d cmp(b,a)=%d for a=%x b=%x", got, back, a, b)
+		}
+		if sign(CompareKeyPath(a, a)) != 0 {
+			t.Fatalf("CompareKeyPath(a, a) != 0 for a=%x", a)
+		}
+		for _, max := range []int{1, 8, 16} {
+			pa := AppendKeyPathKey(nil, a, max)
+			if !bytes.HasPrefix(ka, pa) {
+				t.Fatalf("max=%d key %x is not a prefix of full key %x (rec %x)", max, pa, ka, a)
+			}
+			// The sorter's inline prefix: clamp to max, zero-pad. When the
+			// padded prefixes differ they must agree with the full order.
+			pb := AppendKeyPathKey(nil, b, max)
+			fixA, fixB := make([]byte, max), make([]byte, max)
+			copy(fixA, pa)
+			copy(fixB, pb)
+			if c := sign(bytes.Compare(fixA, fixB)); c != 0 && c != got {
+				t.Fatalf("max=%d padded prefixes order %d but records order %d (a=%x b=%x)",
+					max, c, got, a, b)
+			}
+		}
+	})
+}
+
+// FuzzKeySeqOrder checks the same normalization contract for the
+// (key, seq)-headed child-record format.
+func FuzzKeySeqOrder(f *testing.F) {
+	seeds := [][]byte{
+		{},
+		{0, 0},
+		{1, 'A', 0, 'p', 'a', 'y', 'l', 'o', 'a', 'd'},
+		{1, 'A', 1},
+		{2, 'A', 0x00, 3},
+		{9, 'x'},       // key overrun
+		{1, 'A'},       // seq missing
+		{0x80},         // never-terminating key length
+		{1, 'A', 0x80}, // seq cut mid-varint
+	}
+	for _, a := range seeds {
+		for _, b := range seeds {
+			f.Add(a, b)
+		}
+	}
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		got := sign(CompareKeySeq(a, b))
+		ka := AppendKeySeqKey(nil, a, 0)
+		kb := AppendKeySeqKey(nil, b, 0)
+		if want := sign(bytes.Compare(ka, kb)); got != want {
+			t.Fatalf("CompareKeySeq(%x, %x) = %d, normalized keys order %d", a, b, got, want)
+		}
+		if back := sign(CompareKeySeq(b, a)); back != -got {
+			t.Fatalf("antisymmetry: cmp(a,b)=%d cmp(b,a)=%d for a=%x b=%x", got, back, a, b)
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package sortkey
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// mergeInts drains k sorted slices through a LoserTree, returning the
+// merged sequence and the tree so tests can inspect comparison counts.
+// Exhausted leaves order after live ones, ties by leaf index — the same
+// discipline the external sorter's merge uses.
+func mergeInts(runs [][]int) ([]int, *LoserTree) {
+	heads := make([]int, len(runs))
+	exhausted := make([]bool, len(runs))
+	for i, r := range runs {
+		if len(r) == 0 {
+			exhausted[i] = true
+		}
+	}
+	less := func(a, b int32) bool {
+		if exhausted[a] != exhausted[b] {
+			return !exhausted[a]
+		}
+		if exhausted[a] {
+			return a < b
+		}
+		va, vb := runs[a][heads[a]], runs[b][heads[b]]
+		if va != vb {
+			return va < vb
+		}
+		return a < b
+	}
+	t := NewLoserTree(len(runs), less)
+	var out []int
+	for {
+		w := t.Winner()
+		if exhausted[w] {
+			return out, t
+		}
+		out = append(out, runs[w][heads[w]])
+		heads[w]++
+		if heads[w] == len(runs[w]) {
+			exhausted[w] = true
+		}
+		t.Fix()
+	}
+}
+
+func TestLoserTreeMergesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, k := range []int{1, 2, 3, 4, 5, 7, 8, 15, 16, 33} {
+		runs := make([][]int, k)
+		var want []int
+		for i := range runs {
+			n := rng.Intn(40)
+			for j := 0; j < n; j++ {
+				runs[i] = append(runs[i], rng.Intn(50)) // heavy duplicates
+			}
+			sort.Ints(runs[i])
+			want = append(want, runs[i]...)
+		}
+		sort.Ints(want)
+		got, tree := mergeInts(runs)
+		if len(got) != len(want) {
+			t.Fatalf("k=%d: merged %d values, want %d", k, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d: value %d = %d, want %d", k, i, got[i], want[i])
+			}
+		}
+		// Comparison bound: k-1 to build, ≤ ⌈log₂k⌉ per pop, with one
+		// final pop discovering exhaustion per leaf.
+		n := int64(len(want))
+		depth := int64(math.Ceil(math.Log2(float64(k))))
+		if k == 1 {
+			depth = 0
+		}
+		bound := int64(k-1) + (n+int64(k))*depth
+		if c := tree.Comparisons(); c > bound {
+			t.Errorf("k=%d n=%d: %d comparisons exceed the %d bound", k, n, c, bound)
+		}
+	}
+}
+
+func TestLoserTreeEmptyAndSingleton(t *testing.T) {
+	got, _ := mergeInts([][]int{{}, {}, {}})
+	if len(got) != 0 {
+		t.Errorf("all-empty merge produced %v", got)
+	}
+	got, _ = mergeInts([][]int{{3, 1 + 2, 9}})
+	if len(got) != 3 || got[0] != 3 || got[2] != 9 {
+		t.Errorf("singleton merge = %v", got)
+	}
+	got, _ = mergeInts([][]int{{}, {5}, {}})
+	if len(got) != 1 || got[0] != 5 {
+		t.Errorf("one-live-leaf merge = %v", got)
+	}
+}
+
+// TestLoserTreeDeterministicTies pins the tie-break: equal values pop in
+// leaf-index order, the same rule the run merge uses for byte-identical
+// records across runs.
+func TestLoserTreeDeterministicTies(t *testing.T) {
+	type tagged struct{ val, src int }
+	runs := [][]int{{7, 7}, {7}, {7, 7}}
+	var order []tagged
+	heads := make([]int, len(runs))
+	exhausted := make([]bool, len(runs))
+	less := func(a, b int32) bool {
+		if exhausted[a] != exhausted[b] {
+			return !exhausted[a]
+		}
+		if exhausted[a] {
+			return a < b
+		}
+		va, vb := runs[a][heads[a]], runs[b][heads[b]]
+		if va != vb {
+			return va < vb
+		}
+		return a < b
+	}
+	tree := NewLoserTree(len(runs), less)
+	for {
+		w := tree.Winner()
+		if exhausted[w] {
+			break
+		}
+		order = append(order, tagged{runs[w][heads[w]], int(w)})
+		heads[w]++
+		if heads[w] == len(runs[w]) {
+			exhausted[w] = true
+		}
+		tree.Fix()
+	}
+	wantSrc := []int{0, 0, 1, 2, 2}
+	for i, o := range order {
+		if o.src != wantSrc[i] {
+			t.Fatalf("tie order = %v, want sources %v", order, wantSrc)
+		}
+	}
+}
