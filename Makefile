@@ -9,7 +9,7 @@ check: ; ./scripts/check.sh
 
 build: ; $(GO) build ./...
 
-# vet runs the toolchain's vet, then the project analyzers (NV001-NV004)
+# vet runs the toolchain's vet, then the project analyzers (NV001-NV005)
 # through both the -vettool protocol and the standalone stale-baseline run.
 vet: nexvet
 	$(GO) vet ./...

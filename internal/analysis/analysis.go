@@ -11,6 +11,9 @@
 //	       atomic accessor methods
 //	NV004 detptr       — the deterministic sort/merge paths use no wall
 //	       clock, no global rand, and no map-iteration-ordered output
+//	NV005 ctxflow      — library packages neither manufacture root contexts
+//	       (context.Background/TODO) nor store a context.Context in a
+//	       struct field
 //
 // Analyzers run in two harnesses (cmd/nexvet): standalone over `go list`
 // metadata, and as a `go vet -vettool` unit checker. Intentional exceptions
@@ -44,7 +47,7 @@ type Analyzer struct {
 
 // All returns the full nexvet suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{FrameBalance, IOPurity, StatsAtomic, DetPtr}
+	return []*Analyzer{FrameBalance, IOPurity, StatsAtomic, DetPtr, CtxFlow}
 }
 
 // Pass holds one analyzer's view of one type-checked package.

@@ -79,9 +79,19 @@ func LoadBaseline(path string) (*Baseline, error) {
 	return b, nil
 }
 
-// matches reports whether e covers d.
+// matches reports whether e covers d. The entry func "-" matches
+// package-scope diagnostics (struct fields, var initializers), whose
+// enclosing-function name is empty — a bare "" would not survive the
+// three-field line format.
 func (e *BaselineEntry) matches(d Diagnostic) bool {
-	if e.Code != d.Code || e.Func != d.Func {
+	if e.Code != d.Code {
+		return false
+	}
+	if e.Func == "-" {
+		if d.Func != "" {
+			return false
+		}
+	} else if e.Func != d.Func {
 		return false
 	}
 	file := filepath.ToSlash(d.Pos.Filename)

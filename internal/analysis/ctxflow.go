@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow (NV005) enforces the lifecycle model's context discipline:
+// library code receives its context from the caller and threads it through
+// call paths — it never manufactures a root context and never parks one in
+// a struct.
+//
+//   - context.Background() / context.TODO() calls are banned outside
+//     package main: a library that makes its own root context silently
+//     detaches the work from the caller's cancellation and deadline. The
+//     em layer's alternative for "this run can never be canceled" is a nil
+//     *em.Lifecycle, not a fresh Background.
+//   - struct fields of type context.Context are banned: a stored context
+//     outlives the call it belonged to and hides the cancellation scope
+//     (the go vet containedctx rule). The em.Lifecycle wrapper — one
+//     immutable field behind nil-safe accessors — and the short-lived
+//     stream guards are the deliberate, baselined exceptions.
+//
+// Scope: every package except main (binaries own their root context, so
+// Background is exactly right there). Test files are dropped by Report,
+// as everywhere in nexvet.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Code: "NV005",
+	Doc: "report library code that manufactures a root context " +
+		"(context.Background/TODO) or stores a context.Context in a struct field",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	if pass.Pkg.Name() == "main" {
+		return // binaries own their root context
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := x.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				name := sel.Sel.Name
+				if name != "Background" && name != "TODO" {
+					return true
+				}
+				if pkgName, ok := pass.pkgOf(sel.X); ok && pkgName == "context" {
+					pass.Report(x.Pos(),
+						"library code manufactures a root context via `context."+name+"`",
+						"accept the context from the caller; a run that must never cancel binds a nil lifecycle instead")
+				}
+			case *ast.StructType:
+				for _, field := range x.Fields.List {
+					tv, ok := pass.Info.Types[field.Type]
+					if !ok || !isContextType(tv.Type) {
+						continue
+					}
+					pass.Report(field.Pos(),
+						"context.Context stored in a struct field",
+						"thread ctx through call paths; a stored context outlives its call and hides the cancellation scope")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isContextType reports whether t is context.Context (possibly behind a
+// pointer or alias).
+func isContextType(t types.Type) bool {
+	named := namedOrPointee(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -24,6 +24,10 @@ func TestDetPtrGolden(t *testing.T) {
 	runGolden(t, DetPtr, "./internal/core")  // in scope
 	runGolden(t, DetPtr, "./internal/plain") // out of scope: must stay silent
 }
+func TestCtxFlowGolden(t *testing.T) {
+	runGolden(t, CtxFlow, "./internal/ctxviol") // library: roots and stored ctx flagged
+	runGolden(t, CtxFlow, "./internal/ctxmain") // package main: must stay silent
+}
 
 // want is one expected diagnostic.
 type want struct {

@@ -1,0 +1,12 @@
+// Command ctxmain sits outside ctxflow's scope: a binary owns its root
+// context, so Background here is exactly right and must stay silent.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,27 @@
+// Package ctxviol exercises ctxflow: a library package that manufactures
+// root contexts and parks a context in a struct.
+package ctxviol
+
+import "context"
+
+// Session stores its context — the containedctx shape ctxflow bans.
+type Session struct {
+	ctx  context.Context // want "context.Context stored in a struct field"
+	name string
+}
+
+// Detach launches work on a fresh root context, detaching it from the
+// caller's cancellation.
+func Detach() *Session {
+	return &Session{ctx: context.Background(), name: "detached"} // want "manufactures a root context via `context.Background`"
+}
+
+// Later is the classic TODO placeholder that never gets fixed.
+func Later() context.Context {
+	return context.TODO() // want "manufactures a root context via `context.TODO`"
+}
+
+// Threaded is the approved shape: ctx arrives as a parameter and flows on.
+func Threaded(ctx context.Context) error {
+	return ctx.Err()
+}

@@ -16,6 +16,12 @@ import (
 // its end tag) back in its place. ds is the subtree root's level, used by
 // depth-limited sorting.
 func (s *sorter) sortSubtree(rec pathRec, endTok xmltok.Token, ds int) (runstore.RunID, error) {
+	// Lifecycle poll at the per-subtree boundary: an in-memory subtree
+	// sort moves no blocks, so this is what keeps cancellation prompt
+	// through a stretch of small subtrees that never touch the device.
+	if err := s.env.Dev.Interrupted(); err != nil {
+		return 0, err
+	}
 	size := s.data.Size() - rec.start
 	if size > s.report.MaxSubtreeBytes {
 		s.report.MaxSubtreeBytes = size

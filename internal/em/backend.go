@@ -1,10 +1,12 @@
 package em
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"sync"
+	"syscall"
 )
 
 // Backend is the raw byte store underneath a Device. Implementations must
@@ -87,9 +89,16 @@ func (b *FileBackend) ReadAt(p []byte, off int64) (int, error) {
 	return n, nil
 }
 
-// WriteAt implements io.WriterAt.
+// WriteAt implements io.WriterAt. A filesystem out-of-space failure is
+// wrapped as *ExhaustedError so it joins the typed failure model
+// (errors.Is(err, ErrScratchExhausted), ClassExhausted) instead of
+// surfacing as an anonymous permanent error.
 func (b *FileBackend) WriteAt(p []byte, off int64) (int, error) {
-	return b.f.WriteAt(p, off)
+	n, err := b.f.WriteAt(p, off)
+	if err != nil && errors.Is(err, syscall.ENOSPC) {
+		err = &ExhaustedError{Requested: off + int64(len(p)), Err: err}
+	}
+	return n, err
 }
 
 // Close closes and removes the underlying file. Spill data is scratch by

@@ -53,13 +53,20 @@ func (c *CountingReader) charge(n int) {
 }
 
 // fill refreshes the buffer window from the underlying reader. On return
-// either the window is non-empty or the sticky error is set.
+// either the window is non-empty or the sticky error is set. The run's
+// lifecycle is polled per refill: the input scan is the one long phase
+// with no block traffic of its own, so without this check a cancellation
+// landing mid-scan would not be observed until the first spill.
 func (c *CountingReader) fill() error {
 	if c.start < c.end {
 		return nil
 	}
 	if c.err != nil {
 		return c.err
+	}
+	if err := c.dev.Interrupted(); err != nil {
+		c.err = err
+		return err
 	}
 	for range [100]struct{}{} {
 		n, err := c.r.Read(c.buf)
@@ -173,10 +180,15 @@ func (c *CountingWriter) charge(n int) {
 	}
 }
 
-// flushBuf drains the buffered bytes to the underlying writer.
+// flushBuf drains the buffered bytes to the underlying writer, polling
+// the run's lifecycle first — the output phase writes here block by
+// block, so cancellation cuts the document off at a block boundary.
 func (c *CountingWriter) flushBuf() error {
 	if c.used == 0 {
 		return nil
+	}
+	if err := c.dev.Interrupted(); err != nil {
+		return err
 	}
 	n, err := c.w.Write(c.buf[:c.used])
 	if err == nil && n < c.used {

@@ -23,6 +23,17 @@ type Device struct {
 	stats     *Stats
 	frames    *FramePool
 
+	// life bounds the run: every ReadBlock/WriteBlock checks it before
+	// transferring, making the Device the single enforcement point that
+	// gives cancellation its ≤ K-block-operations promptness bound — all
+	// spill traffic (runstore, xstack paging, extsort runs, core's
+	// workers) flows through here. Set once by BindLifecycle before the
+	// device is shared; nil never cancels. capacity is the scratch quota
+	// hint in blocks (0 unlimited), set alongside it; both are immutable
+	// after construction, so reads need no lock.
+	life     *Lifecycle
+	capacity int64
+
 	mu        sync.Mutex
 	backend   Backend
 	cache     *blockCache
@@ -67,6 +78,36 @@ func nextScratchID() int64 {
 	defer scratchMu.Unlock()
 	scratchID++
 	return scratchID
+}
+
+// BindLifecycle attaches the run's lifecycle: once it ends, every further
+// block operation is refused with the wrapped context error. Call before
+// the device is shared between goroutines (NewEnvContext does); a nil
+// lifecycle means the device never cancels.
+func (d *Device) BindLifecycle(l *Lifecycle) { d.life = l }
+
+// SetCapacityHint records the scratch quota in blocks that a
+// CapacityBackend (or the deployment) enforces underneath, enabling
+// NearFull. 0 means unlimited. Call before the device is shared.
+func (d *Device) SetCapacityHint(blocks int64) { d.capacity = blocks }
+
+// Interrupted returns the run's typed cancellation error once the bound
+// lifecycle has ended, nil before that. Components with long CPU-only
+// stretches between block operations (in-memory sorts, the counting
+// reader/writer at the user-I/O boundary) poll this to keep cancellation
+// prompt even when no spill traffic is flowing.
+func (d *Device) Interrupted() error { return d.life.Interrupted() }
+
+// NearFull reports whether scratch allocation has reached 7/8 of the
+// capacity hint — the graceful-degradation signal: extsort reacts by
+// streaming its final merge (maximum fan-in, no materialized output run)
+// instead of spending the scratch it may not have. Always false without a
+// capacity hint.
+func (d *Device) NearFull() bool {
+	if d.capacity <= 0 {
+		return false
+	}
+	return d.Allocated() >= d.capacity-d.capacity/8
 }
 
 // BlockSize returns the device block size in bytes.
@@ -129,6 +170,10 @@ func (d *Device) ReadBlock(c Category, id int64, p []byte) error {
 	if len(p) != d.blockSize {
 		return fmt.Errorf("em: ReadBlock buffer is %d bytes, want %d", len(p), d.blockSize)
 	}
+	if err := d.life.Interrupted(); err != nil {
+		d.stats.AddCanceled(c, 1)
+		return fmt.Errorf("em: read block %d refused: %w", id, err)
+	}
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -165,6 +210,10 @@ func (d *Device) WriteBlock(c Category, id int64, p []byte) error {
 	if len(p) != d.blockSize {
 		return fmt.Errorf("em: WriteBlock buffer is %d bytes, want %d", len(p), d.blockSize)
 	}
+	if err := d.life.Interrupted(); err != nil {
+		d.stats.AddCanceled(c, 1)
+		return fmt.Errorf("em: write block %d refused: %w", id, err)
+	}
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -185,6 +234,9 @@ func (d *Device) WriteBlock(c Category, id int64, p []byte) error {
 		cache.update(id, p)
 	}
 	if _, err := writeAtCat(backend, p, id*int64(d.blockSize), c); err != nil {
+		if IsExhausted(err) {
+			d.stats.AddExhausted(c, 1)
+		}
 		return fmt.Errorf("em: write block %d: %w", id, err)
 	}
 	d.stats.AddWrites(c, 1)

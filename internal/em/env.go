@@ -1,6 +1,7 @@
 package em
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 )
@@ -38,6 +39,15 @@ type Config struct {
 	// total memory stays within M (see DESIGN.md §10).
 	CacheBlocks int
 
+	// ScratchQuotaBlocks, when positive, caps the scratch device at that
+	// many blocks: a CapacityBackend under the hardening layers refuses
+	// writes past the quota with the typed ErrScratchExhausted, and the
+	// Device's NearFull signal (7/8 of the quota) lets the sorters degrade
+	// gracefully — extsort streams its final merge instead of
+	// materializing one more run — before the hard limit hits. 0 means
+	// unlimited, the paper's model.
+	ScratchQuotaBlocks int64
+
 	// VerifyChecksums stores a CRC-32C trailer with every spill block and
 	// verifies it on read, turning torn writes and bit rot into typed
 	// ErrCorruptBlock errors instead of silent corruption. Costs 8 bytes
@@ -71,6 +81,9 @@ func (c Config) Validate() error {
 	}
 	if c.CacheBlocks < 0 {
 		return fmt.Errorf("em: negative cache size %d blocks", c.CacheBlocks)
+	}
+	if c.ScratchQuotaBlocks < 0 {
+		return fmt.Errorf("em: negative scratch quota %d blocks", c.ScratchQuotaBlocks)
 	}
 	if c.CacheBlocks > 0 && c.MemBlocks-c.CacheBlocks < 5 {
 		return fmt.Errorf("em: cache of %d blocks leaves %d of %d for sorting (min 5)",
@@ -114,11 +127,27 @@ func (e *Env) Parallelism() int { return e.Conf.parallelism() }
 func (e *Env) Pool() *Pool { return e.pool }
 
 // NewEnv builds an environment from cfg. The spill backend is assembled
-// bottom-up: the raw store (file or memory), the optional WrapBackend test
-// hook (fault injection), then checksum verification, then transient-fault
-// retry — so retries re-drive verification and verification sees exactly
-// what the (possibly faulty) device returned.
+// bottom-up: the raw store (file or memory), the scratch quota (if any),
+// the optional WrapBackend test hook (fault injection), then checksum
+// verification, then transient-fault retry — so retries re-drive
+// verification and verification sees exactly what the (possibly faulty)
+// device returned. The environment has no lifecycle: it can never be
+// canceled. Use NewEnvContext to bound a run by a context.
 func NewEnv(cfg Config) (*Env, error) {
+	return newEnv(cfg, nil)
+}
+
+// NewEnvContext is NewEnv bound to ctx: once ctx is canceled or its
+// deadline passes, every block operation on the environment's device is
+// refused with the wrapped context error (errors.Is-matchable against
+// context.Canceled / context.DeadlineExceeded), retry backoffs wake
+// immediately, and the sorters unwind through their usual typed-error
+// paths — budget settled, frames recycled, scratch removed by Close.
+func NewEnvContext(ctx context.Context, cfg Config) (*Env, error) {
+	return newEnv(cfg, NewLifecycle(ctx))
+}
+
+func newEnv(cfg Config, life *Lifecycle) (*Env, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -133,11 +162,24 @@ func NewEnv(cfg Config) (*Env, error) {
 	} else {
 		backend = NewMemBackend()
 	}
+	if cfg.ScratchQuotaBlocks > 0 {
+		// The quota sits directly on the raw store and is denominated in
+		// physical blocks: with checksums on, each logical block costs its
+		// trailer too, and that overhead must not eat into the quota's
+		// block count.
+		phys := int64(cfg.BlockSize)
+		if cfg.VerifyChecksums {
+			phys += checksumTrailerLen
+		}
+		backend = NewCapacityBackend(backend, cfg.ScratchQuotaBlocks*phys)
+	}
 	if cfg.WrapBackend != nil {
 		backend = cfg.WrapBackend(backend)
 	}
-	backend = HardenBackend(backend, cfg, stats)
+	backend = HardenBackendLifecycle(backend, cfg, stats, life)
 	dev := NewDevice(backend, cfg.BlockSize, stats)
+	dev.BindLifecycle(life)
+	dev.SetCapacityHint(cfg.ScratchQuotaBlocks)
 	budget := NewBudget(cfg.MemBlocks)
 	// The device's frame pool is the memory behind the budget's blocks:
 	// one substrate under every buffer, so grants and buffers can't drift.
@@ -165,11 +207,17 @@ func NewEnv(cfg Config) (*Env, error) {
 // backend. It is exposed so tests can build custom stacks over hand-made
 // backends.
 func HardenBackend(backend Backend, cfg Config, stats *Stats) Backend {
+	return HardenBackendLifecycle(backend, cfg, stats, nil)
+}
+
+// HardenBackendLifecycle is HardenBackend with the retry layer bound to a
+// run lifecycle, so backoff sleeps abort on cancellation.
+func HardenBackendLifecycle(backend Backend, cfg Config, stats *Stats, life *Lifecycle) Backend {
 	if cfg.VerifyChecksums {
 		backend = NewChecksumBackend(backend, cfg.BlockSize, stats)
 	}
 	if cfg.Retry.Enabled() {
-		backend = NewRetryBackend(backend, cfg.Retry, stats)
+		backend = NewRetryBackendLifecycle(backend, cfg.Retry, stats, life)
 	}
 	return backend
 }

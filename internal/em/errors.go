@@ -7,7 +7,7 @@ import (
 )
 
 // This file defines the failure model of the spill substrate. Every error a
-// Backend can surface falls into one of three classes:
+// Backend can surface falls into one of four classes:
 //
 //   - Transient: the operation may succeed if simply retried (interrupted
 //     syscalls, momentary device stalls, in-transit corruption that a
@@ -19,10 +19,21 @@ import (
 //     transit, so RetryPolicy.RetryCorruptReads treats read-side corruption
 //     as retryable.
 //   - Permanent: everything else. Surfaced immediately.
+//   - Exhausted: the scratch device is out of space — a real ENOSPC from
+//     the filesystem or a CapacityBackend quota. Retrying cannot help (the
+//     device will not grow), but callers can degrade gracefully before the
+//     error surfaces: extsort reacts to Device.NearFull by streaming its
+//     final merge instead of materializing one more run.
 //
 // The classes are typed so that callers up the stack (runstore, xstack,
 // core, the public API) can distinguish "retry exhausted a transient fault"
 // from "the scratch data is gone" without string matching.
+//
+// Cancellation is deliberately NOT a class of its own: a canceled run is
+// not a device failure. Operations refused after the run's Lifecycle ends
+// wrap the context error with %w (errors.Is(err, context.Canceled) or
+// context.DeadlineExceeded holds at every level) and classify as
+// permanent, so the retry layer never re-attempts them.
 
 // ErrCorruptBlock is the sentinel matched by errors.Is for any block that
 // failed checksum verification. The concrete error is a *CorruptBlockError
@@ -68,6 +79,42 @@ func MarkTransient(err error) error {
 	return &TransientError{Err: err}
 }
 
+// ErrScratchExhausted is the sentinel matched by errors.Is for any failure
+// caused by the scratch device running out of space: a filesystem ENOSPC
+// surfaced by FileBackend or a CapacityBackend quota hit. The concrete
+// error is an *ExhaustedError carrying the limit and the attempt.
+var ErrScratchExhausted = errors.New("em: scratch space exhausted")
+
+// ExhaustedError reports a write the scratch device had no room for.
+type ExhaustedError struct {
+	// Limit is the capacity in bytes that was exceeded; 0 when unknown
+	// (a real ENOSPC reports no limit).
+	Limit int64
+	// Requested is the byte extent the failing write needed.
+	Requested int64
+	// Err is the underlying cause (e.g. the syscall.ENOSPC), nil for a
+	// quota check that refused the write before it reached the device.
+	Err error
+}
+
+// Error implements error.
+func (e *ExhaustedError) Error() string {
+	msg := fmt.Sprintf("em: scratch space exhausted: write needs %d bytes", e.Requested)
+	if e.Limit > 0 {
+		msg += fmt.Sprintf(" of a %d-byte quota", e.Limit)
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ExhaustedError) Unwrap() error { return e.Err }
+
+// Is makes errors.Is(err, ErrScratchExhausted) match any ExhaustedError.
+func (e *ExhaustedError) Is(target error) bool { return target == ErrScratchExhausted }
+
 // ErrorClass is the retry-relevant classification of a backend error.
 type ErrorClass int
 
@@ -80,6 +127,10 @@ const (
 	ClassCorrupt
 	// ClassPermanent errors will not improve with retries.
 	ClassPermanent
+	// ClassExhausted errors mean the scratch device is out of space (real
+	// ENOSPC or a CapacityBackend quota). Not retryable; callers may react
+	// by shrinking their scratch appetite before failing.
+	ClassExhausted
 )
 
 // String names the class.
@@ -91,6 +142,8 @@ func (c ErrorClass) String() string {
 		return "corrupt"
 	case ClassPermanent:
 		return "permanent"
+	case ClassExhausted:
+		return "exhausted"
 	default:
 		return fmt.Sprintf("class(%d)", int(c))
 	}
@@ -99,6 +152,7 @@ func (c ErrorClass) String() string {
 // Classify buckets err into an ErrorClass. Explicitly marked
 // TransientErrors and the retryable syscall errnos (EINTR, EAGAIN,
 // ETIMEDOUT, EBUSY) classify as transient; checksum failures as corrupt;
+// scratch-space exhaustion (ErrScratchExhausted, raw ENOSPC) as exhausted;
 // everything else — including nil — as permanent.
 func Classify(err error) ErrorClass {
 	if err == nil {
@@ -110,6 +164,9 @@ func Classify(err error) ErrorClass {
 	}
 	if errors.Is(err, ErrCorruptBlock) {
 		return ClassCorrupt
+	}
+	if errors.Is(err, ErrScratchExhausted) || errors.Is(err, syscall.ENOSPC) {
+		return ClassExhausted
 	}
 	for _, errno := range []syscall.Errno{syscall.EINTR, syscall.EAGAIN, syscall.ETIMEDOUT, syscall.EBUSY} {
 		if errors.Is(err, errno) {
@@ -124,3 +181,7 @@ func IsTransient(err error) bool { return err != nil && Classify(err) == ClassTr
 
 // IsCorrupt reports whether err is a checksum failure.
 func IsCorrupt(err error) bool { return err != nil && errors.Is(err, ErrCorruptBlock) }
+
+// IsExhausted reports whether err means the scratch device ran out of
+// space (quota or real ENOSPC).
+func IsExhausted(err error) bool { return err != nil && Classify(err) == ClassExhausted }

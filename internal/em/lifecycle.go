@@ -1,0 +1,63 @@
+package em
+
+import (
+	"context"
+	"fmt"
+)
+
+// Lifecycle carries the context that bounds one run of the substrate.
+// Every component that moves blocks — the Device, the retry layer's
+// backoff sleeps, the counting reader/writer at the user-I/O boundary —
+// consults the lifecycle before doing work, so a cancellation or an
+// expired deadline is observed within a bounded number of block
+// operations anywhere in a run (DESIGN.md §13).
+//
+// A nil *Lifecycle is the valid "never cancels" lifecycle: every method
+// works on a nil receiver, so plain NewEnv environments pay a nil check
+// and nothing else. The context is set once at construction and never
+// replaced, which is what makes the unsynchronized reads below safe: the
+// field is published before the environment is shared.
+type Lifecycle struct {
+	ctx context.Context // immutable after NewLifecycle (see NV005 baseline)
+}
+
+// NewLifecycle binds ctx as a run's lifecycle. A nil ctx returns the nil
+// lifecycle, which never cancels.
+func NewLifecycle(ctx context.Context) *Lifecycle {
+	if ctx == nil {
+		return nil
+	}
+	return &Lifecycle{ctx: ctx}
+}
+
+// Err returns the bound context's error: nil while the run may continue,
+// context.Canceled or context.DeadlineExceeded once it must stop.
+func (l *Lifecycle) Err() error {
+	if l == nil || l.ctx == nil {
+		return nil
+	}
+	return l.ctx.Err()
+}
+
+// Done returns the bound context's cancellation channel, or nil for the
+// never-canceling lifecycle (a nil channel blocks forever in a select,
+// which is exactly the semantics wanted).
+func (l *Lifecycle) Done() <-chan struct{} {
+	if l == nil || l.ctx == nil {
+		return nil
+	}
+	return l.ctx.Done()
+}
+
+// Interrupted wraps Err for surfacing: a non-nil result is the typed
+// cancellation error every refused operation returns, matching
+// errors.Is(err, context.Canceled) and errors.Is(err,
+// context.DeadlineExceeded) through the %w chain. Cancellation is not a
+// device fault, so it classifies as permanent — the retry layer must
+// never re-attempt a canceled operation.
+func (l *Lifecycle) Interrupted() error {
+	if err := l.Err(); err != nil {
+		return fmt.Errorf("em: run canceled: %w", err)
+	}
+	return nil
+}

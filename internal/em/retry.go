@@ -45,17 +45,6 @@ func (p RetryPolicy) delay(n int) time.Duration {
 	return d
 }
 
-func (p RetryPolicy) sleep(d time.Duration) {
-	if d <= 0 {
-		return
-	}
-	if p.Sleep != nil {
-		p.Sleep(d)
-		return
-	}
-	time.Sleep(d)
-}
-
 // RetryBackend wraps a Backend and re-attempts operations that fail with a
 // transient error (and optionally reads that fail checksum verification),
 // under a bounded exponential-backoff policy. Each re-attempt is counted
@@ -66,15 +55,24 @@ type RetryBackend struct {
 	inner  Backend
 	policy RetryPolicy
 	stats  *Stats
+	life   *Lifecycle
 }
 
 // NewRetryBackend layers policy over inner, charging retry counts to stats
 // (nil disables accounting, not retrying).
 func NewRetryBackend(inner Backend, policy RetryPolicy, stats *Stats) *RetryBackend {
+	return NewRetryBackendLifecycle(inner, policy, stats, nil)
+}
+
+// NewRetryBackendLifecycle is NewRetryBackend bound to a run lifecycle:
+// backoff sleeps wake immediately on cancellation, and no re-attempt is
+// issued once the lifecycle has ended — a canceled run must not keep
+// hammering a faulty device through its retry budget.
+func NewRetryBackendLifecycle(inner Backend, policy RetryPolicy, stats *Stats, life *Lifecycle) *RetryBackend {
 	if policy.MaxRetries < 0 {
 		panic(fmt.Sprintf("em: negative MaxRetries %d", policy.MaxRetries))
 	}
-	return &RetryBackend{inner: inner, policy: policy, stats: stats}
+	return &RetryBackend{inner: inner, policy: policy, stats: stats, life: life}
 }
 
 // retryable reports whether err is worth re-attempting for the given
@@ -93,13 +91,47 @@ func (b *RetryBackend) retryable(err error, isRead bool) bool {
 func (b *RetryBackend) do(c Category, isRead bool, op func() (int, error)) (int, error) {
 	n, err := op()
 	for attempt := 0; err != nil && attempt < b.policy.MaxRetries && b.retryable(err, isRead); attempt++ {
-		b.policy.sleep(b.policy.delay(attempt))
+		if slErr := b.sleep(b.policy.delay(attempt)); slErr != nil {
+			// The run was canceled while backing off: abandon the retry
+			// budget and surface the cancellation (errors.Is-matchable)
+			// with the device fault it preempted in the message.
+			return n, fmt.Errorf("em: retry abandoned: %w (last device error: %v)", slErr, err)
+		}
 		if b.stats != nil {
 			b.stats.AddRetries(c, 1)
 		}
 		n, err = op()
 	}
 	return n, err
+}
+
+// sleep waits the backoff delay, waking early — and reporting the typed
+// cancellation error — if the bound lifecycle ends first.
+func (b *RetryBackend) sleep(d time.Duration) error {
+	if err := b.life.Interrupted(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	if b.policy.Sleep != nil {
+		// Test hook: honor it verbatim, then re-check the lifecycle.
+		b.policy.Sleep(d)
+		return b.life.Interrupted()
+	}
+	done := b.life.Done()
+	if done == nil {
+		time.Sleep(d)
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-done:
+		return b.life.Interrupted()
+	case <-timer.C:
+		return nil
+	}
 }
 
 // ReadAt implements io.ReaderAt under the scratch category.

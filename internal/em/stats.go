@@ -27,6 +27,8 @@ type Stats struct {
 	ckFails  [numCategories]atomic.Int64
 	cacheHit [numCategories]atomic.Int64
 	cacheMis [numCategories]atomic.Int64
+	canceled [numCategories]atomic.Int64
+	exhaust  [numCategories]atomic.Int64
 }
 
 // NewStats returns an empty Stats.
@@ -57,6 +59,16 @@ func (s *Stats) AddCacheHits(c Category, n int64) { s.cacheHit[c].Add(n) }
 // cache being enabled, under category c. Hits+misses equals the ReadBlock
 // call count on a cached device.
 func (s *Stats) AddCacheMisses(c Category, n int64) { s.cacheMis[c].Add(n) }
+
+// AddCanceled records n block operations the Device refused because the
+// run's lifecycle had ended (cancellation or deadline), under category c.
+// A refused operation performs no transfer, so it is never also counted in
+// Reads/Writes; the counter measures how much work cancellation cut short.
+func (s *Stats) AddCanceled(c Category, n int64) { s.canceled[c].Add(n) }
+
+// AddExhausted records n block writes that failed because the scratch
+// device was out of space (quota or real ENOSPC), under category c.
+func (s *Stats) AddExhausted(c Category, n int64) { s.exhaust[c].Add(n) }
 
 // Reads returns the number of block reads recorded under category c.
 func (s *Stats) Reads(c Category) int64 { return s.reads[c].Load() }
@@ -113,6 +125,32 @@ func (s *Stats) TotalChecksumFailures() int64 {
 	return t
 }
 
+// Canceled returns the lifecycle-refused operations recorded under
+// category c.
+func (s *Stats) Canceled(c Category) int64 { return s.canceled[c].Load() }
+
+// Exhausted returns the out-of-space write failures recorded under
+// category c.
+func (s *Stats) Exhausted(c Category) int64 { return s.exhaust[c].Load() }
+
+// TotalCanceled returns lifecycle-refused operations across all categories.
+func (s *Stats) TotalCanceled() int64 {
+	var t int64
+	for i := range s.canceled {
+		t += s.canceled[i].Load()
+	}
+	return t
+}
+
+// TotalExhausted returns out-of-space failures across all categories.
+func (s *Stats) TotalExhausted() int64 {
+	var t int64
+	for i := range s.exhaust {
+		t += s.exhaust[i].Load()
+	}
+	return t
+}
+
 // CacheHits returns the cache hits recorded under category c.
 func (s *Stats) CacheHits(c Category) int64 { return s.cacheHit[c].Load() }
 
@@ -146,6 +184,8 @@ func (s *Stats) Reset() {
 		s.ckFails[i].Store(0)
 		s.cacheHit[i].Store(0)
 		s.cacheMis[i].Store(0)
+		s.canceled[i].Store(0)
+		s.exhaust[i].Store(0)
 	}
 }
 
@@ -161,9 +201,11 @@ func (s *Stats) Snapshot() map[string]IOCount {
 			ChecksumFailures: s.ckFails[i].Load(),
 			CacheHits:        s.cacheHit[i].Load(),
 			CacheMisses:      s.cacheMis[i].Load(),
+			Canceled:         s.canceled[i].Load(),
+			Exhausted:        s.exhaust[i].Load(),
 		}
 		if c.Reads == 0 && c.Writes == 0 && c.Retries == 0 && c.ChecksumFailures == 0 &&
-			c.CacheHits == 0 && c.CacheMisses == 0 {
+			c.CacheHits == 0 && c.CacheMisses == 0 && c.Canceled == 0 && c.Exhausted == 0 {
 			continue
 		}
 		out[Category(i).String()] = c
@@ -188,6 +230,12 @@ type IOCount struct {
 	// CacheMisses counts ReadBlocks that reached the backend with the
 	// cache enabled; zero unless Config.CacheBlocks > 0.
 	CacheMisses int64
+	// Canceled counts block operations the Device refused after the run's
+	// lifecycle ended; zero on an uncanceled run.
+	Canceled int64
+	// Exhausted counts block writes that failed for lack of scratch space;
+	// zero unless the device filled up (quota or ENOSPC).
+	Exhausted int64
 }
 
 // Total returns reads+writes.
@@ -215,6 +263,12 @@ func (s *Stats) String() string {
 		}
 		if c.CacheHits > 0 || c.CacheMisses > 0 {
 			fmt.Fprintf(&b, " hit=%d miss=%d", c.CacheHits, c.CacheMisses)
+		}
+		if c.Canceled > 0 {
+			fmt.Fprintf(&b, " canceled=%d", c.Canceled)
+		}
+		if c.Exhausted > 0 {
+			fmt.Fprintf(&b, " exhausted=%d", c.Exhausted)
 		}
 		b.WriteString("; ")
 		total += c.Total()

@@ -1,0 +1,77 @@
+package em
+
+import "sync"
+
+// TriggerBackend wraps a Backend and fires a callback exactly once, just
+// before the N-th backend operation (reads and writes share one 1-based
+// counter) executes. It is the deterministic clock of the cancel-anywhere
+// chaos harness: "cancel the run at device operation N" needs an op
+// counter at the backend boundary, below the Device's lifecycle check, so
+// that operations the Device refuses after the trigger are NOT counted —
+// which is what makes Ops() - N a faithful measure of how many block
+// transfers the run still performed after being told to stop.
+//
+// The callback runs outside the lock, on the goroutine performing the
+// N-th operation, before that operation reaches the inner backend; the
+// triggering operation itself still executes (it was already past the
+// Device's check when the trigger fired).
+type TriggerBackend struct {
+	inner Backend
+
+	mu    sync.Mutex
+	at    int64 // fire before op number `at`; <= 0 disarmed
+	ops   int64
+	fired bool
+	fn    func()
+}
+
+// NewTriggerBackend wraps inner, arming fn to fire once before the n-th
+// operation (1-based). n <= 0 never fires.
+func NewTriggerBackend(inner Backend, n int64, fn func()) *TriggerBackend {
+	return &TriggerBackend{inner: inner, at: n, fn: fn}
+}
+
+// Ops returns how many backend operations have started so far.
+func (b *TriggerBackend) Ops() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ops
+}
+
+// Fired reports whether the trigger has gone off.
+func (b *TriggerBackend) Fired() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fired
+}
+
+// step counts one operation and fires the callback when the count reaches
+// the armed position.
+func (b *TriggerBackend) step() {
+	b.mu.Lock()
+	b.ops++
+	fire := !b.fired && b.at > 0 && b.ops >= b.at
+	if fire {
+		b.fired = true
+	}
+	fn := b.fn
+	b.mu.Unlock()
+	if fire && fn != nil {
+		fn()
+	}
+}
+
+// ReadAt implements io.ReaderAt, counting the operation.
+func (b *TriggerBackend) ReadAt(p []byte, off int64) (int, error) {
+	b.step()
+	return b.inner.ReadAt(p, off)
+}
+
+// WriteAt implements io.WriterAt, counting the operation.
+func (b *TriggerBackend) WriteAt(p []byte, off int64) (int, error) {
+	b.step()
+	return b.inner.WriteAt(p, off)
+}
+
+// Close closes the wrapped backend.
+func (b *TriggerBackend) Close() error { return b.inner.Close() }

@@ -91,12 +91,13 @@ type Sorter struct {
 	firstErr error
 	panicVal any
 
-	initialRuns  int
-	mergePasses  int
-	totalRecords int64
-	totalBytes   int64
-	sorted       bool
-	closed       bool
+	initialRuns   int
+	mergePasses   int
+	totalRecords  int64
+	totalBytes    int64
+	streamedFinal bool
+	sorted        bool
+	closed        bool
 }
 
 // Stats reports how the sort executed, for experiment harnesses: the paper
@@ -107,6 +108,10 @@ type Stats struct {
 	InitialRuns int
 	MergePasses int
 	Spilled     bool // false when everything fit in the buffer
+	// StreamedFinalMerge reports the scratch-pressure degradation: the
+	// final merge was delivered through the Iterator instead of being
+	// materialized as one more run (Device.NearFull fired).
+	StreamedFinalMerge bool
 }
 
 // New creates a sorter that may use memBlocks blocks of main memory,
@@ -388,6 +393,13 @@ func (s *Sorter) Sort() (*Iterator, error) {
 		return nil, fmt.Errorf("extsort: Sort called twice")
 	}
 	s.sorted = true
+	// Lifecycle poll before the CPU-heavy phases: the in-memory fast path
+	// and a large batch sort perform no device operations for a while, so
+	// without this check a cancellation could only be observed once the
+	// merge started moving blocks.
+	if err := s.env.Dev.Interrupted(); err != nil {
+		return nil, err
+	}
 	// Fast path: everything fit in memory, no run was ever cut (and hence
 	// no worker is in flight — workers exist only for cut runs).
 	if len(s.runs) == 0 {
@@ -404,6 +416,22 @@ func (s *Sorter) Sort() (*Iterator, error) {
 	}
 	fanIn := s.memBlocks - 1
 	for len(s.runs) > 1 {
+		// Graceful degradation under scratch pressure: when the device is
+		// near its quota and few enough runs remain that each can hold one
+		// reader block within this sorter's grant, skip materializing the
+		// merged run and hand the caller a streaming final merge instead.
+		// Dropping the output block raises the feasible fan-in from M−1 to
+		// M, and the pass that would have cost the full data size in
+		// writes (plus rereads) costs nothing — the last scratch the run
+		// needed was the runs it already has.
+		if s.env.Dev.NearFull() && len(s.runs) <= s.memBlocks {
+			m, err := newStreamMerger(s, s.runs)
+			if err != nil {
+				return nil, err
+			}
+			s.streamedFinal = true
+			return &Iterator{run: m}, nil
+		}
 		var next []*em.Stream
 		for lo := 0; lo < len(s.runs); lo += fanIn {
 			hi := lo + fanIn
@@ -439,111 +467,169 @@ type mergeCursor struct {
 	closed bool
 }
 
+// streamMerger yields the k-way loser-tree merge of a set of runs record
+// by record, without materializing the merged run. mergeRuns pumps one
+// into a run writer during ordinary merge passes; the graceful-degradation
+// path hands one directly to the Iterator as the final merge, spending k
+// reader blocks and zero scratch writes. Selection order — comparator,
+// then run index on ties — is identical either way, so which path
+// delivered a record can never change the output bytes.
+type streamMerger struct {
+	s       *Sorter
+	cursors []mergeCursor
+	tree    *sortkey.LoserTree
+	kbuf    []byte
+	started bool
+	closed  bool
+}
+
+// newStreamMerger opens a reader per run and primes the loser tree. On
+// error every already-opened reader is closed.
+func newStreamMerger(s *Sorter, runs []*em.Stream) (*streamMerger, error) {
+	m := &streamMerger{s: s, cursors: make([]mergeCursor, len(runs))}
+	for i, run := range runs {
+		r, err := newRunReader(run)
+		if err != nil {
+			m.close()
+			return nil, err
+		}
+		m.cursors[i] = mergeCursor{r: r, idx: i}
+		if err := m.load(&m.cursors[i]); err != nil {
+			m.close()
+			return nil, err
+		}
+	}
+	m.tree = sortkey.NewLoserTree(len(m.cursors), m.less)
+	return m, nil
+}
+
+// load advances a cursor to its run's next record, refreshing the inline
+// key prefix; at EOF the reader is closed immediately (its buffer frame
+// goes back to the pool while the merge continues) and the cursor is
+// marked exhausted.
+func (m *streamMerger) load(cur *mergeCursor) error {
+	rec, err := cur.r.next()
+	if err == io.EOF {
+		cur.r.close()
+		cur.closed = true
+		cur.eof = true
+		cur.rec = nil
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	cur.rec = rec
+	if m.s.keyer != nil {
+		m.kbuf = m.s.keyer(m.kbuf[:0], rec, keyPrefixLen)
+		n := copy(cur.key[:], m.kbuf)
+		for i := n; i < keyPrefixLen; i++ {
+			cur.key[i] = 0
+		}
+	}
+	return nil
+}
+
+// less ranks cursors for the loser tree: exhausted runs after every live
+// one, then key prefix, then full comparator, then run index.
+func (m *streamMerger) less(a, b int32) bool {
+	ca, cb := &m.cursors[a], &m.cursors[b]
+	if ca.eof != cb.eof {
+		return !ca.eof
+	}
+	if ca.eof {
+		return ca.idx < cb.idx
+	}
+	if m.s.keyer != nil {
+		if c := bytes.Compare(ca.key[:], cb.key[:]); c != 0 {
+			return c < 0
+		}
+	}
+	if c := m.s.cmp(ca.rec, cb.rec); c != 0 {
+		return c < 0
+	}
+	return ca.idx < cb.idx
+}
+
+// next returns the merge's next record, or io.EOF when every run is
+// drained. The returned slice is valid until the following next call —
+// the previous winner is advanced lazily, here, so the record handed out
+// last time stays untouched in its reader buffer until then.
+func (m *streamMerger) next() ([]byte, error) {
+	if m.started {
+		cur := &m.cursors[m.tree.Winner()]
+		if !cur.eof {
+			if err := m.load(cur); err != nil {
+				return nil, err
+			}
+			m.tree.Fix()
+		}
+	}
+	m.started = true
+	cur := &m.cursors[m.tree.Winner()]
+	if cur.eof {
+		return nil, io.EOF
+	}
+	return cur.rec, nil
+}
+
+// close releases every still-open reader so their buffer frames return to
+// the pool. Idempotent.
+func (m *streamMerger) close() {
+	if m.closed {
+		return
+	}
+	m.closed = true
+	for i := range m.cursors {
+		if m.cursors[i].r != nil && !m.cursors[i].closed {
+			m.cursors[i].r.close()
+			m.cursors[i].closed = true
+		}
+	}
+}
+
 // mergeRuns merges the given runs into a single new run, selecting the
 // minimum with a tree of losers (see internal/sortkey): ⌈log₂k⌉ matches
 // per record against the binary heap's two-per-level sift. Exhausted runs
 // stay in the tree ranked after every live one, so the merge ends when the
-// winner is at EOF. The selection order — comparator, then run index on
-// ties — is exactly the heap's, so output bytes are unchanged.
+// winner is at EOF.
 func (s *Sorter) mergeRuns(runs []*em.Stream) (_ *em.Stream, retErr error) {
 	if len(runs) == 1 {
 		return runs[0], nil
 	}
-	cursors := make([]mergeCursor, len(runs))
-	var w *em.StreamWriter
-	defer func() {
-		// On failure, close whatever is still open so every buffer frame
-		// returns to the pool; the half-written run is abandoned.
-		if retErr != nil {
-			for i := range cursors {
-				if cursors[i].r != nil && !cursors[i].closed {
-					cursors[i].r.close()
-				}
-			}
-			if w != nil {
-				w.Close()
-			}
-		}
-	}()
-	var kbuf []byte
-	// load advances a cursor to its run's next record, refreshing the inline
-	// key prefix; at EOF the reader is closed immediately (its buffer frame
-	// goes back to the pool while the merge continues) and the cursor is
-	// marked exhausted.
-	load := func(cur *mergeCursor) error {
-		rec, err := cur.r.next()
-		if err == io.EOF {
-			cur.r.close()
-			cur.closed = true
-			cur.eof = true
-			cur.rec = nil
-			return nil
-		}
-		if err != nil {
-			return err
-		}
-		cur.rec = rec
-		if s.keyer != nil {
-			kbuf = s.keyer(kbuf[:0], rec, keyPrefixLen)
-			n := copy(cur.key[:], kbuf)
-			for i := n; i < keyPrefixLen; i++ {
-				cur.key[i] = 0
-			}
-		}
-		return nil
-	}
-	for i, run := range runs {
-		r, err := newRunReader(run)
-		if err != nil {
-			return nil, err
-		}
-		cursors[i] = mergeCursor{r: r, idx: i}
-		if err := load(&cursors[i]); err != nil {
-			return nil, err
-		}
-	}
-	less := func(a, b int32) bool {
-		ca, cb := &cursors[a], &cursors[b]
-		if ca.eof != cb.eof {
-			return !ca.eof
-		}
-		if ca.eof {
-			return ca.idx < cb.idx
-		}
-		if s.keyer != nil {
-			if c := bytes.Compare(ca.key[:], cb.key[:]); c != 0 {
-				return c < 0
-			}
-		}
-		if c := s.cmp(ca.rec, cb.rec); c != 0 {
-			return c < 0
-		}
-		return ca.idx < cb.idx
-	}
-	tree := sortkey.NewLoserTree(len(cursors), less)
-	out := em.NewStream(s.env.Dev, s.cat)
-	var err error
-	w, err = out.NewWriter(nil)
+	m, err := newStreamMerger(s, runs)
 	if err != nil {
 		return nil, err
 	}
+	defer m.close()
+	out := em.NewStream(s.env.Dev, s.cat)
+	w, err := out.NewWriter(nil)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		// On failure, close the writer so its buffer frame returns to the
+		// pool; the half-written run is abandoned.
+		if retErr != nil {
+			w.Close()
+		}
+	}()
 	var lenBuf [binary.MaxVarintLen64]byte
 	for {
-		cur := &cursors[tree.Winner()]
-		if cur.eof {
+		rec, err := m.next()
+		if err == io.EOF {
 			break
 		}
-		n := binary.PutUvarint(lenBuf[:], uint64(len(cur.rec)))
+		if err != nil {
+			return nil, err
+		}
+		n := binary.PutUvarint(lenBuf[:], uint64(len(rec)))
 		if _, err := w.Write(lenBuf[:n]); err != nil {
 			return nil, err
 		}
-		if _, err := w.Write(cur.rec); err != nil {
+		if _, err := w.Write(rec); err != nil {
 			return nil, err
 		}
-		if err := load(cur); err != nil {
-			return nil, err
-		}
-		tree.Fix()
 	}
 	if err := w.Close(); err != nil {
 		return nil, err
@@ -554,11 +640,12 @@ func (s *Sorter) mergeRuns(runs []*em.Stream) (_ *em.Stream, retErr error) {
 // Stats returns execution statistics. Valid after Sort.
 func (s *Sorter) Stats() Stats {
 	return Stats{
-		Records:     s.totalRecords,
-		RecordBytes: s.totalBytes,
-		InitialRuns: s.initialRuns,
-		MergePasses: s.mergePasses,
-		Spilled:     s.initialRuns > 0,
+		Records:            s.totalRecords,
+		RecordBytes:        s.totalBytes,
+		InitialRuns:        s.initialRuns,
+		MergePasses:        s.mergePasses,
+		Spilled:            s.initialRuns > 0,
+		StreamedFinalMerge: s.streamedFinal,
 	}
 }
 
@@ -582,11 +669,18 @@ func (s *Sorter) Close() {
 	s.drain() //nolint:errcheck // terminal errors were already surfaced by Add/Sort
 }
 
+// recordSource is a stream of sorted records behind an Iterator: a single
+// materialized run (runReader) or the streaming final merge (streamMerger).
+type recordSource interface {
+	next() ([]byte, error)
+	close()
+}
+
 // Iterator yields sorted records. Exactly one of mem/run is set.
 type Iterator struct {
 	mem []entry
 	i   int
-	run *runReader
+	run recordSource
 }
 
 // Next returns the next record, or io.EOF. The returned slice is valid

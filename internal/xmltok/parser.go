@@ -58,6 +58,18 @@ func NewParser(r io.Reader, opts ParserOptions) *Parser {
 // longer does.
 func (p *Parser) Depth() int { return p.depth }
 
+// truncated maps a read failure inside a token: io.EOF (or a nil error
+// when the caller saw an unexpected byte) means the document itself is cut
+// short or malformed, so the diagnostic message applies. Any other error
+// is the reader failing — a device fault, a canceled run — and must
+// propagate unchanged so typed errors keep their errors.Is identity.
+func truncated(err error, format string, args ...any) error {
+	if err != nil && err != io.EOF {
+		return err
+	}
+	return malformed(format, args...)
+}
+
 func (p *Parser) readByte() (byte, error) {
 	if p.peeked >= 0 {
 		b := byte(p.peeked)
@@ -154,7 +166,7 @@ func (p *Parser) parseText(first byte) (Token, error) {
 func (p *Parser) parseMarkup() (tok Token, skip bool, err error) {
 	b, err := p.readByte()
 	if err != nil {
-		return Token{}, false, malformed("truncated markup")
+		return Token{}, false, truncated(err, "truncated markup")
 	}
 	switch {
 	case b == '?':
@@ -173,12 +185,12 @@ func (p *Parser) parseMarkup() (tok Token, skip bool, err error) {
 func (p *Parser) parseBang() (Token, bool, error) {
 	b, err := p.readByte()
 	if err != nil {
-		return Token{}, false, malformed("truncated <! construct")
+		return Token{}, false, truncated(err, "truncated <! construct")
 	}
 	switch b {
 	case '-':
 		if b2, err := p.readByte(); err != nil || b2 != '-' {
-			return Token{}, false, malformed("expected <!--")
+			return Token{}, false, truncated(err, "expected <!--")
 		}
 		return Token{}, true, p.skipUntil("-->")
 	case '[':
@@ -187,7 +199,7 @@ func (p *Parser) parseBang() (Token, bool, error) {
 		for i := 0; i < len(open); i++ {
 			c, err := p.readByte()
 			if err != nil || c != open[i] {
-				return Token{}, false, malformed("expected <![CDATA[")
+				return Token{}, false, truncated(err, "expected <![CDATA[")
 			}
 		}
 		if p.depth == 0 {
@@ -215,7 +227,7 @@ func (p *Parser) parseBang() (Token, bool, error) {
 			}
 			cur, err = p.readByte()
 			if err != nil {
-				return Token{}, false, malformed("truncated <! declaration")
+				return Token{}, false, truncated(err, "truncated <! declaration")
 			}
 		}
 	}
@@ -233,7 +245,7 @@ func (p *Parser) parseStartTag() (Token, bool, error) {
 	for {
 		b, err := p.skipSpace()
 		if err != nil {
-			return Token{}, false, malformed("truncated start tag <%s", name)
+			return Token{}, false, truncated(err, "truncated start tag <%s", name)
 		}
 		switch b {
 		case '>':
@@ -241,7 +253,7 @@ func (p *Parser) parseStartTag() (Token, bool, error) {
 			return tok, false, nil
 		case '/':
 			if b2, err := p.readByte(); err != nil || b2 != '>' {
-				return Token{}, false, malformed("expected /> in <%s", name)
+				return Token{}, false, truncated(err, "expected /> in <%s", name)
 			}
 			p.openElement(name)
 			p.pendingEnd = &Token{Kind: KindEnd, Name: name}
@@ -264,7 +276,7 @@ func (p *Parser) parseEndTag() (Token, bool, error) {
 	}
 	b, err := p.skipSpace()
 	if err != nil || b != '>' {
-		return Token{}, false, malformed("malformed end tag </%s", name)
+		return Token{}, false, truncated(err, "malformed end tag </%s", name)
 	}
 	if p.depth == 0 {
 		return Token{}, false, malformed("end tag </%s> with no open element", name)
@@ -303,7 +315,7 @@ func (p *Parser) readName() (string, error) {
 	var sb strings.Builder
 	b, err := p.readByte()
 	if err != nil || !isNameStart(b) {
-		return "", malformed("expected a name")
+		return "", truncated(err, "expected a name")
 	}
 	sb.WriteByte(b)
 	for {
@@ -329,17 +341,17 @@ func (p *Parser) readAttr() (Attr, error) {
 	}
 	b, err := p.skipSpace()
 	if err != nil || b != '=' {
-		return Attr{}, malformed("attribute %s missing '='", name)
+		return Attr{}, truncated(err, "attribute %s missing '='", name)
 	}
 	quote, err := p.skipSpace()
 	if err != nil || (quote != '"' && quote != '\'') {
-		return Attr{}, malformed("attribute %s missing quote", name)
+		return Attr{}, truncated(err, "attribute %s missing quote", name)
 	}
 	var sb strings.Builder
 	for {
 		b, err := p.readByte()
 		if err != nil {
-			return Attr{}, malformed("unterminated value for attribute %s", name)
+			return Attr{}, truncated(err, "unterminated value for attribute %s", name)
 		}
 		if b == quote {
 			break
@@ -366,7 +378,7 @@ func (p *Parser) parseEntity() (string, error) {
 	for {
 		b, err := p.readByte()
 		if err != nil {
-			return "", malformed("unterminated entity reference")
+			return "", truncated(err, "unterminated entity reference")
 		}
 		if b == ';' {
 			break
@@ -431,7 +443,7 @@ func (p *Parser) readUntil(marker string) (string, error) {
 	for {
 		b, err := p.readByte()
 		if err != nil {
-			return "", malformed("missing %q terminator", marker)
+			return "", truncated(err, "missing %q terminator", marker)
 		}
 		if b == marker[matched] {
 			matched++

@@ -1,6 +1,7 @@
 package nexsort
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -28,11 +29,43 @@ func Merge(left, right io.Reader, crit *Criterion, out io.Writer, opts MergeOpti
 	return merge.Documents(left, right, crit, out, opts)
 }
 
+// MergeContext is Merge bounded by ctx: when ctx is canceled or its
+// deadline passes, the merge stops at the next stream operation, its
+// parser pipelines are torn down, and the returned error satisfies
+// errors.Is against context.Canceled / context.DeadlineExceeded.
+func MergeContext(ctx context.Context, left, right io.Reader, crit *Criterion, out io.Writer, opts MergeOptions) (*MergeReport, error) {
+	if crit == nil {
+		return nil, fmt.Errorf("nexsort: Merge requires a criterion (it defines element matching)")
+	}
+	return merge.DocumentsContext(ctx, left, right, crit, out, opts)
+}
+
 // MergeFiles is Merge over file paths. Like SortFile, it never leaves a
 // partial result behind: if the merge fails after the output file was
 // created, the file is removed, so outPath either holds a complete merged
 // document or does not exist.
 func MergeFiles(leftPath, rightPath, outPath string, crit *Criterion, opts MergeOptions) (*MergeReport, error) {
+	return mergeFiles(leftPath, rightPath, outPath,
+		func(left, right io.Reader, out io.Writer) (*MergeReport, error) {
+			return Merge(left, right, crit, out, opts)
+		})
+}
+
+// MergeFilesContext is MergeFiles bounded by ctx, with MergeContext's
+// cancellation semantics. The no-partial-output guarantee holds on the
+// cancellation path too: a canceled merge removes whatever it had written
+// to outPath before returning the context's error.
+func MergeFilesContext(ctx context.Context, leftPath, rightPath, outPath string, crit *Criterion, opts MergeOptions) (*MergeReport, error) {
+	return mergeFiles(leftPath, rightPath, outPath,
+		func(left, right io.Reader, out io.Writer) (*MergeReport, error) {
+			return MergeContext(ctx, left, right, crit, out, opts)
+		})
+}
+
+// mergeFiles handles the path plumbing shared by MergeFiles and
+// MergeFilesContext, removing the output on any failure — including
+// cancellation.
+func mergeFiles(leftPath, rightPath, outPath string, run func(left, right io.Reader, out io.Writer) (*MergeReport, error)) (*MergeReport, error) {
 	left, err := os.Open(leftPath)
 	if err != nil {
 		return nil, err
@@ -48,7 +81,7 @@ func MergeFiles(leftPath, rightPath, outPath string, crit *Criterion, opts Merge
 	if err != nil {
 		return nil, err
 	}
-	rep, err := Merge(left, right, crit, out, opts)
+	rep, err := run(left, right, out)
 	if closeErr := out.Close(); err == nil {
 		err = closeErr
 	}
@@ -70,10 +103,50 @@ func ApplyUpdates(base, updates io.Reader, crit *Criterion, out io.Writer, inden
 	return merge.ApplyUpdates(base, updates, crit, out, indent)
 }
 
+// ApplyUpdatesContext is ApplyUpdates bounded by ctx, with MergeContext's
+// cancellation semantics.
+func ApplyUpdatesContext(ctx context.Context, base, updates io.Reader, crit *Criterion, out io.Writer, indent string) (*MergeReport, error) {
+	if crit == nil {
+		return nil, fmt.Errorf("nexsort: ApplyUpdates requires a criterion")
+	}
+	return merge.ApplyUpdatesContext(ctx, base, updates, crit, out, indent)
+}
+
 // SortAndMerge runs the complete Example 1.1 pipeline: NEXSORT both input
 // documents by crit into temporary files, then merge them in one pass into
 // out. It returns the two sort results and the merge report.
 func SortAndMerge(left, right io.Reader, crit *Criterion, out io.Writer, cfg Config, opts MergeOptions) (*Result, *Result, *MergeReport, error) {
+	return sortAndMerge(left, right, cfg,
+		func(in io.Reader, w io.Writer) (*Result, error) {
+			return Sort(in, w, cfg, Options{Criterion: crit})
+		},
+		func(lf, rf io.Reader) (*MergeReport, error) {
+			return Merge(lf, rf, crit, out, opts)
+		})
+}
+
+// SortAndMergeContext is SortAndMerge bounded by ctx: both sorts and the
+// merge observe the context, and a cancellation anywhere in the pipeline
+// unwinds it — temporary files removed, scratch released — returning an
+// error that satisfies errors.Is against context.Canceled /
+// context.DeadlineExceeded.
+func SortAndMergeContext(ctx context.Context, left, right io.Reader, crit *Criterion, out io.Writer, cfg Config, opts MergeOptions) (*Result, *Result, *MergeReport, error) {
+	return sortAndMerge(left, right, cfg,
+		func(in io.Reader, w io.Writer) (*Result, error) {
+			return SortContext(ctx, in, w, cfg, Options{Criterion: crit})
+		},
+		func(lf, rf io.Reader) (*MergeReport, error) {
+			return MergeContext(ctx, lf, rf, crit, out, opts)
+		})
+}
+
+// sortAndMerge is the pipeline shared by SortAndMerge and
+// SortAndMergeContext: sort both inputs into a private temp directory,
+// then merge the two sorted files. The temp directory (and with it any
+// partial sorted file) is removed on every path.
+func sortAndMerge(left, right io.Reader, cfg Config,
+	sortOne func(io.Reader, io.Writer) (*Result, error),
+	mergeBoth func(lf, rf io.Reader) (*MergeReport, error)) (*Result, *Result, *MergeReport, error) {
 	dir, err := os.MkdirTemp(cfg.ScratchDir, "nexsort-merge-")
 	if err != nil {
 		return nil, nil, nil, err
@@ -86,7 +159,7 @@ func SortAndMerge(left, right io.Reader, crit *Criterion, out io.Writer, cfg Con
 		if err != nil {
 			return nil, nil, err
 		}
-		res, err := Sort(in, f, cfg, Options{Criterion: crit})
+		res, err := sortOne(in, f)
 		if err != nil {
 			f.Close()
 			return nil, nil, err
@@ -109,7 +182,7 @@ func SortAndMerge(left, right io.Reader, crit *Criterion, out io.Writer, cfg Con
 	}
 	defer rf.Close()
 
-	mrep, err := Merge(lf, rf, crit, out, opts)
+	mrep, err := mergeBoth(lf, rf)
 	if err != nil {
 		return nil, nil, nil, err
 	}

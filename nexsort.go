@@ -100,6 +100,20 @@ func IsCorrupt(err error) bool { return em.IsCorrupt(err) }
 // retry budget is exhausted.
 func IsTransient(err error) bool { return em.IsTransient(err) }
 
+// ErrScratchExhausted is the sentinel wrapped by every scratch-space
+// failure: the scratch device hit Config.ScratchQuotaBlocks, or the
+// filesystem underneath returned ENOSPC. errors.Is(err,
+// ErrScratchExhausted) — or IsExhausted — identifies a sort that failed
+// for want of spill space rather than because of bad input or a device
+// fault.
+var ErrScratchExhausted = em.ErrScratchExhausted
+
+// IsExhausted reports whether err means the sort ran out of scratch space
+// (quota or real ENOSPC). Exhaustion is permanent for the run: retrying in
+// place cannot help, but re-running with a larger quota, more memory, or a
+// roomier scratch volume can.
+func IsExhausted(err error) bool { return em.IsExhausted(err) }
+
 // Algorithm selects the sorting algorithm.
 type Algorithm int
 
@@ -169,6 +183,13 @@ type Config struct {
 	// as cache hits instead of block transfers. Default 0 (off), which
 	// keeps the counted I/Os exactly the paper's model.
 	CacheBlocks int
+	// ScratchQuotaBlocks caps the scratch device at this many blocks.
+	// Writes past the quota fail with ErrScratchExhausted (IsExhausted);
+	// as the device approaches the cap the sorters degrade gracefully
+	// first — the merge-sort baseline streams its final merge instead of
+	// materializing one more run. Default 0 (unlimited), the paper's
+	// model.
+	ScratchQuotaBlocks int64
 }
 
 // Defaults for Config.
@@ -196,14 +217,15 @@ func (c Config) normalize() (em.Config, error) {
 		dir = os.TempDir()
 	}
 	cfg := em.Config{
-		BlockSize:       bs,
-		MemBlocks:       blocks,
-		ScratchDir:      dir,
-		InMemory:        c.InMemory,
-		VerifyChecksums: c.VerifyChecksums,
-		Retry:           c.Retry,
-		Parallelism:     c.Parallelism,
-		CacheBlocks:     c.CacheBlocks,
+		BlockSize:          bs,
+		MemBlocks:          blocks,
+		ScratchDir:         dir,
+		InMemory:           c.InMemory,
+		VerifyChecksums:    c.VerifyChecksums,
+		Retry:              c.Retry,
+		Parallelism:        c.Parallelism,
+		CacheBlocks:        c.CacheBlocks,
+		ScratchQuotaBlocks: c.ScratchQuotaBlocks,
 	}
 	if err := cfg.Validate(); err != nil {
 		return cfg, err
@@ -271,13 +293,29 @@ type Result struct {
 	MergeSort *extsort.XMLReport
 }
 
-// SortContext is Sort with cancellation: when ctx is cancelled the sort
-// stops at the next block boundary and returns ctx's error. Scratch state
-// is released; nothing of the partial output should be used.
+// SortContext is Sort bounded by ctx: cancellation or a passed deadline is
+// observed within a bounded number of block operations — the environment's
+// device refuses further transfers, retry backoffs wake immediately, and
+// the input/output streams are guarded — and
+// the sort unwinds through its usual typed-error paths, releasing every
+// frame and all scratch state. The returned error satisfies errors.Is
+// against context.Canceled / context.DeadlineExceeded; nothing of the
+// partial output should be used.
 func SortContext(ctx context.Context, in io.Reader, out io.Writer, cfg Config, opts Options) (*Result, error) {
-	res, err := Sort(&ctxReader{ctx: ctx, r: in}, &ctxWriter{ctx: ctx, w: out}, cfg, opts)
+	emCfg, err := cfg.normalize()
 	if err != nil {
-		// Prefer the context's error over the wrapped transport error.
+		return nil, err
+	}
+	env, err := em.NewEnvContext(ctx, emCfg)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	res, err := sortInEnv(env, &ctxReader{ctx: ctx, r: in}, &ctxWriter{ctx: ctx, w: out}, opts)
+	if err != nil {
+		// Prefer the context's own error over the wrapped transport error:
+		// if the context is over, that is the reason the sort stopped,
+		// whatever layer happened to notice first.
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return nil, ctxErr
 		}
@@ -404,6 +442,25 @@ func sortInEnv(env *em.Env, in io.Reader, out io.Writer, opts Options) (*Result,
 // file was created, the partial output is removed: a path either holds a
 // complete sorted document or does not exist.
 func SortFile(inPath, outPath string, cfg Config, opts Options) (*Result, error) {
+	return sortFile(inPath, outPath, func(in io.Reader, out io.Writer) (*Result, error) {
+		return Sort(in, out, cfg, opts)
+	})
+}
+
+// SortFileContext is SortFile bounded by ctx, with SortContext's
+// cancellation semantics. The no-partial-output guarantee holds on the
+// cancellation path too: a canceled sort removes whatever it had written
+// to outPath before returning the context's error.
+func SortFileContext(ctx context.Context, inPath, outPath string, cfg Config, opts Options) (*Result, error) {
+	return sortFile(inPath, outPath, func(in io.Reader, out io.Writer) (*Result, error) {
+		return SortContext(ctx, in, out, cfg, opts)
+	})
+}
+
+// sortFile handles the path plumbing shared by SortFile and
+// SortFileContext: open (ungzip) the input, create the output, run the
+// sort, and remove the output on any failure — including cancellation.
+func sortFile(inPath, outPath string, run func(io.Reader, io.Writer) (*Result, error)) (*Result, error) {
 	in, err := os.Open(inPath)
 	if err != nil {
 		return nil, err
@@ -430,7 +487,7 @@ func SortFile(inPath, outPath string, cfg Config, opts Options) (*Result, error)
 		writer = gzw
 	}
 
-	res, err := Sort(reader, writer, cfg, opts)
+	res, err := run(reader, writer)
 	if gzw != nil {
 		if closeErr := gzw.Close(); err == nil {
 			err = closeErr
