@@ -30,14 +30,18 @@ import (
 // run (a sort past its last spill write no longer needs scratch space).
 
 // cancelEnv is the chaos soak's environment shape: heavy spilling, full
-// hardening, explicit parallelism.
-func cancelEnv(parallelism int) em.Config {
+// hardening, explicit parallelism. compress additionally routes every
+// scratch block through the spill codec (CompressSpill), so the trigger
+// sweeps land inside compressed reads and writes too — the codec's
+// per-operation scratch frames must unwind clean like everything else.
+func cancelEnv(parallelism int, compress bool) em.Config {
 	return em.Config{
 		BlockSize:       512,
 		MemBlocks:       16,
 		VerifyChecksums: true,
 		Retry:           em.RetryPolicy{MaxRetries: 6, RetryCorruptReads: true},
 		Parallelism:     parallelism,
+		CompressSpill:   compress,
 	}
 }
 
@@ -65,7 +69,10 @@ func TestCancelAnywhereSoak(t *testing.T) {
 	for _, algo := range chaostest.Algorithms {
 		for _, p := range []int{1, 2, 8} {
 			t.Run(fmt.Sprintf("%v/p%d", algo, p), func(t *testing.T) {
-				env := cancelEnv(p)
+				// The p=2 leg runs the whole sweep with the spill codec in
+				// the stack, so cancellation is proven under compression as
+				// well as over the plain backend.
+				env := cancelEnv(p, p == 2)
 				clean := chaostest.RunCancel(doc, crit, chaostest.CancelTrial{
 					Algorithm: algo, Env: env,
 				})
@@ -102,9 +109,9 @@ func TestCancelAnywhereSoak(t *testing.T) {
 						if o.PanicValue != nil {
 							t.Fatalf("N=%d: sort panicked: %v", trigger, o.PanicValue)
 						}
-						if o.BudgetInUse != 0 || o.FramesLive != 0 {
-							t.Fatalf("N=%d: leak after unwind: %d budget blocks, %d frames (err=%v)",
-								trigger, o.BudgetInUse, o.FramesLive, o.Err)
+						if o.BudgetInUse != 0 || o.FramesLive != 0 || o.CodecFramesLive != 0 {
+							t.Fatalf("N=%d: leak after unwind: %d budget blocks, %d frames, %d codec frames (err=%v)",
+								trigger, o.BudgetInUse, o.FramesLive, o.CodecFramesLive, o.Err)
 						}
 						if !o.Fired {
 							t.Fatalf("N=%d <= total=%d but the trigger never fired", trigger, total)
@@ -174,7 +181,10 @@ func TestExhaustAnywhereSoak(t *testing.T) {
 	for _, algo := range chaostest.Algorithms {
 		for _, p := range []int{1, 8} {
 			t.Run(fmt.Sprintf("%v/p%d", algo, p), func(t *testing.T) {
-				env := cancelEnv(p)
+				// The p=8 leg exhausts the device underneath the spill
+				// codec: a compressed write hitting ENOSPC must surface the
+				// same typed error with no codec scratch pinned.
+				env := cancelEnv(p, p == 8)
 				clean := chaostest.RunCancel(doc, crit, chaostest.CancelTrial{Algorithm: algo, Env: env})
 				if clean.Err != nil {
 					t.Fatalf("clean run failed: %v", clean.Err)
@@ -193,9 +203,9 @@ func TestExhaustAnywhereSoak(t *testing.T) {
 					if o.PanicValue != nil {
 						t.Fatalf("N=%d: sort panicked: %v", n, o.PanicValue)
 					}
-					if o.BudgetInUse != 0 || o.FramesLive != 0 {
-						t.Fatalf("N=%d: leak after unwind: %d budget blocks, %d frames (err=%v)",
-							n, o.BudgetInUse, o.FramesLive, o.Err)
+					if o.BudgetInUse != 0 || o.FramesLive != 0 || o.CodecFramesLive != 0 {
+						t.Fatalf("N=%d: leak after unwind: %d budget blocks, %d frames, %d codec frames (err=%v)",
+							n, o.BudgetInUse, o.FramesLive, o.CodecFramesLive, o.Err)
 					}
 					switch {
 					case o.Err == nil:
@@ -240,7 +250,9 @@ func TestCancelScratchClean(t *testing.T) {
 	dir := t.TempDir()
 
 	for _, algo := range chaostest.Algorithms {
-		env := cancelEnv(2)
+		// Compressed: the scratch file's cleanup must be just as oblivious
+		// to the spill representation as to the trigger point.
+		env := cancelEnv(2, true)
 		env.ScratchDir = dir
 		clean := chaostest.RunCancel(doc, crit, chaostest.CancelTrial{Algorithm: algo, Env: env})
 		if clean.Err != nil {
@@ -322,7 +334,7 @@ func TestDeadlinePropagation(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := 0; ; i++ {
-			env, err := em.NewEnvContext(ctx, cancelEnv(2))
+			env, err := em.NewEnvContext(ctx, cancelEnv(2, true))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -330,6 +342,9 @@ func TestDeadlinePropagation(t *testing.T) {
 				core.Options{Criterion: keys.ByAttrOrTag("key")})
 			if live := env.Dev.Frames().Live(); live != 0 {
 				t.Fatalf("iteration %d: %d frames live after sort (err=%v)", i, live, sortErr)
+			}
+			if live := env.SpillCodecFramesLive(); live != 0 {
+				t.Fatalf("iteration %d: %d codec scratch frames live after sort (err=%v)", i, live, sortErr)
 			}
 			if inUse := env.Budget.InUse(); inUse != 0 {
 				t.Fatalf("iteration %d: %d budget blocks in use after sort (err=%v)", i, inUse, sortErr)

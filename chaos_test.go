@@ -59,6 +59,10 @@ func chaosTrial(t *testing.T, doc []byte, crit *keys.Criterion, tr chaostest.Tri
 		t.Errorf("%v seed=%d: %d pooled frames leaked (err=%v, injected=%v)",
 			tr.Algorithm, tr.Chaos.Seed, o.FramesLive, o.Err, o.Injected)
 	}
+	if o.CodecFramesLive != 0 {
+		t.Errorf("%v seed=%d: %d codec scratch frames leaked (err=%v, injected=%v)",
+			tr.Algorithm, tr.Chaos.Seed, o.CodecFramesLive, o.Err, o.Injected)
+	}
 	return o
 }
 
@@ -241,7 +245,96 @@ func TestChaosSoak(t *testing.T) {
 		t.Logf("mixed: %d/20 trials failed with a typed error", failed)
 	})
 
-	// Group 5 — file-backed trials under the full mix: whatever happens
+	// Group 5 — corruption underneath the spill codec. With CompressSpill
+	// on, the injector damages the *compressed* representation at rest: a
+	// reread of a damaged slot must surface through the codec's own decode
+	// checks or the checksum layer stacked above it as a typed
+	// corrupt-class error — never as silently wrong decoded bytes — and
+	// the codec's per-operation scratch must be clean however the trial
+	// ends (chaosTrial asserts CodecFramesLive == 0 on every path).
+	t.Run("compressed-at-rest", func(t *testing.T) {
+		envC := chaosEnv()
+		envC.CompressSpill = true
+		for _, algo := range chaostest.Algorithms {
+			if !bytes.Equal(chaostest.Baseline(doc, crit, algo, envC), want[algo]) {
+				t.Fatalf("%v: compressed fault-free baseline differs from the plain baseline", algo)
+			}
+		}
+		var detected int
+		for seed := int64(1); seed <= 15; seed++ {
+			for _, algo := range chaostest.Algorithms {
+				env := chaosEnv()
+				env.CompressSpill = true
+				tr := chaostest.Trial{Algorithm: algo, Env: env, Chaos: em.ChaosConfig{
+					Seed:             seed,
+					WriteBitFlipProb: 0.01,
+					TornWriteProb:    0.01,
+				}}
+				o := chaosTrial(t, doc, crit, tr)
+				note(o)
+				switch {
+				case o.Err == nil:
+					if !bytes.Equal(o.Output, want[algo]) {
+						t.Fatalf("%v seed=%d: SILENT CORRUPTION through the spill codec (injected %v)",
+							algo, seed, o.Injected)
+					}
+				case em.IsCorrupt(o.Err):
+					detected++
+					if o.Stats.TotalChecksumFailures() == 0 {
+						t.Errorf("%v seed=%d: corrupt error but no verification failures counted", algo, seed)
+					}
+				default:
+					t.Fatalf("%v seed=%d: untyped error %v (injected %v)", algo, seed, o.Err, o.Injected)
+				}
+			}
+		}
+		if detected == 0 {
+			t.Error("no compressed trial surfaced a corruption error; injector never hit a reread slot")
+		}
+		t.Logf("compressed-at-rest: %d/30 trials detected corruption through the codec", detected)
+	})
+
+	// Group 6 — the full fault mix underneath the spill codec: transient,
+	// permanent, in-transit and at-rest damage all landing on compressed
+	// slots, with retry healing what it can. Same contract as the plain
+	// mixed group.
+	t.Run("compressed-mix", func(t *testing.T) {
+		var failed int
+		for seed := int64(1); seed <= 10; seed++ {
+			for _, algo := range chaostest.Algorithms {
+				env := chaosEnv()
+				env.CompressSpill = true
+				tr := chaostest.Trial{Algorithm: algo, Env: env, Chaos: em.ChaosConfig{
+					Seed:               seed,
+					ReadPermanentProb:  0.002,
+					WritePermanentProb: 0.002,
+					ReadTransientProb:  0.01,
+					WriteTransientProb: 0.01,
+					ReadBitFlipProb:    0.01,
+					WriteBitFlipProb:   0.005,
+					TornWriteProb:      0.005,
+					ShortWriteProb:     0.005,
+					MaxConsecutive:     4,
+				}}
+				o := chaosTrial(t, doc, crit, tr)
+				note(o)
+				switch {
+				case o.Err == nil:
+					if !bytes.Equal(o.Output, want[algo]) {
+						t.Fatalf("%v seed=%d: SILENT CORRUPTION under compressed mixed faults (injected %v)",
+							algo, seed, o.Injected)
+					}
+				case cleanlyTyped(o.Err):
+					failed++
+				default:
+					t.Fatalf("%v seed=%d: untyped error %v (injected %v)", algo, seed, o.Err, o.Injected)
+				}
+			}
+		}
+		t.Logf("compressed-mix: %d/20 trials failed with a typed error", failed)
+	})
+
+	// Group 7 — file-backed trials under the full mix: whatever happens
 	// to the sort, Env.Close must leave the scratch directory exactly as
 	// it found it. A leftover file after a faulted run is a scratch leak.
 	t.Run("file-backed", func(t *testing.T) {

@@ -107,6 +107,10 @@ type Params struct {
 	// under this knob — only WallSeconds moves — so every paper curve can
 	// be regenerated at any setting.
 	Parallelism int
+	// CompressSpill routes scratch blocks through the spill codec. The
+	// counted logical block transfers — every paper curve — are invariant
+	// under this knob; only the physical byte ledger and WallSeconds move.
+	CompressSpill bool
 }
 
 // Result is one measured run.
@@ -139,6 +143,7 @@ type Result struct {
 var Hardening struct {
 	VerifyChecksums bool
 	Retry           em.RetryPolicy
+	CompressSpill   bool
 }
 
 // DefaultParallelism is the process-wide worker bound applied to runs whose
@@ -161,6 +166,7 @@ func Run(w *Workload, p Params) (*Result, error) {
 		VerifyChecksums: Hardening.VerifyChecksums,
 		Retry:           Hardening.Retry,
 		Parallelism:     parallelism,
+		CompressSpill:   Hardening.CompressSpill || p.CompressSpill,
 	}
 	env, err := em.NewEnv(cfg)
 	if err != nil {

@@ -1,0 +1,444 @@
+package em
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update-spill-golden regenerates the checked-in spill-format fixtures
+// (testdata/spill_golden_*.bin) and the fuzz seed corpora from the current
+// encoder. Run it only when the format version is deliberately bumped: the
+// whole point of the fixtures is to fail when the encoding drifts by
+// accident.
+var updateSpillGolden = flag.Bool("update-spill-golden", false,
+	"rewrite the spill-format golden fixtures and fuzz seed corpora")
+
+// goldenFCPayload builds one block's worth of the bytes the sorters
+// actually spill: uvarint-length-prefixed records whose normalized keys
+// share long prefixes (sorted neighbors), with the zero padding a stream
+// writer leaves after the last record. Deterministic by construction.
+func goldenFCPayload(unit int) []byte {
+	var b []byte
+	regions := []string{"NE", "NE", "NE", "SW", "SW"}
+	for i := 0; len(b) < unit*3/4; i++ {
+		rec := fmt.Sprintf("region/%s/branch/%02d/employee/%05d", regions[i%len(regions)], i%4, i)
+		b = binary.AppendUvarint(b, uint64(len(rec)))
+		b = append(b, rec...)
+	}
+	if len(b) > unit {
+		b = b[:unit]
+	}
+	return append(b, make([]byte, unit-len(b))...)
+}
+
+// goldenStoredPayload is an incompressible block: a fixed full-period LCG
+// keeps it deterministic without touching math/rand.
+func goldenStoredPayload(unit int) []byte {
+	b := make([]byte, unit)
+	x := uint32(0x2545f491)
+	for i := range b {
+		x = x*1664525 + 1013904223
+		b[i] = byte(x >> 24)
+	}
+	return b
+}
+
+// encodeForTest runs the codec with freshly allocated scratch.
+func encodeForTest(payload []byte) []byte {
+	dst := make([]byte, len(payload)+spillHeaderLen)
+	fc := make([]byte, len(payload))
+	return append([]byte(nil), encodeSpillBlock(dst, fc, payload)...)
+}
+
+func decodeForTest(unit int, rec []byte) ([]byte, error) {
+	out := make([]byte, unit)
+	fc := make([]byte, unit)
+	err := decodeSpillBlock(out, fc, rec)
+	return out, err
+}
+
+func TestSpillCodecRoundtrip(t *testing.T) {
+	unit := 512
+	payloads := map[string][]byte{
+		"key-path-records": goldenFCPayload(unit),
+		"incompressible":   goldenStoredPayload(unit),
+		"all-zeros":        make([]byte, unit),
+		"mid-record-start": goldenFCPayload(unit * 2)[unit/3 : unit/3+unit],
+		"tiny":             {7},
+		"text": append([]byte(strings.Repeat("<employee ID='42'/>", 26)),
+			make([]byte, unit-26*19)...),
+	}
+	for name, payload := range payloads {
+		t.Run(name, func(t *testing.T) {
+			rec := encodeForTest(payload)
+			if len(rec) > len(payload)+spillHeaderLen {
+				t.Fatalf("record is %d bytes for a %d-byte payload: exceeds the slot", len(rec), len(payload))
+			}
+			out, err := decodeForTest(len(payload), rec)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !bytes.Equal(out, payload) {
+				t.Fatal("decoded payload differs from the original")
+			}
+			// Determinism: the same payload must encode to the same bytes.
+			if !bytes.Equal(rec, encodeForTest(payload)) {
+				t.Fatal("re-encoding the same payload produced different bytes")
+			}
+		})
+	}
+}
+
+func TestSpillCodecCompresses(t *testing.T) {
+	payload := goldenFCPayload(4096)
+	rec := encodeForTest(payload)
+	if rec[5] != codecFront {
+		t.Fatalf("key-path payload chose codec %d, want front-coded (%d)", rec[5], codecFront)
+	}
+	if len(rec)*2 > len(payload) {
+		t.Errorf("key-path block compressed %d -> %d bytes; want at least 2x", len(payload), len(rec))
+	}
+	stored := encodeForTest(goldenStoredPayload(4096))
+	if stored[5] != codecStored {
+		t.Fatalf("incompressible payload chose codec %d, want stored (%d)", stored[5], codecStored)
+	}
+	if len(stored) != 4096+spillHeaderLen {
+		t.Errorf("stored record is %d bytes, want %d", len(stored), 4096+spillHeaderLen)
+	}
+}
+
+// TestSpillGoldenFormat pins the on-scratch encoding byte for byte against
+// checked-in fixtures: any accidental drift in the header layout, the
+// front coder's segmentation, or the flate parameters fails here before it
+// can strand data written by a previous build.
+func TestSpillGoldenFormat(t *testing.T) {
+	const unit = 512
+	fixtures := []struct {
+		file    string
+		payload []byte
+		codec   byte
+	}{
+		{"spill_golden_fc.bin", goldenFCPayload(unit), codecFront},
+		{"spill_golden_stored.bin", goldenStoredPayload(unit), codecStored},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.file, func(t *testing.T) {
+			rec := encodeForTest(fx.payload)
+			path := filepath.Join("testdata", fx.file)
+			if *updateSpillGolden {
+				if err := os.WriteFile(path, rec, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(rec, want) {
+				t.Fatalf("encoding drifted from the checked-in fixture (%d vs %d bytes); if the format changed on purpose, bump spillVersion and regenerate with -update-spill-golden",
+					len(rec), len(want))
+			}
+			// The fixture must also decode under the current decoder and
+			// carry the expected header fields.
+			if got := binary.LittleEndian.Uint32(want[0:]); got != spillMagic {
+				t.Errorf("fixture magic %08x, want %08x", got, uint32(spillMagic))
+			}
+			if want[4] != spillVersion {
+				t.Errorf("fixture version %d, want %d", want[4], spillVersion)
+			}
+			if want[5] != fx.codec {
+				t.Errorf("fixture codec %d, want %d", want[5], fx.codec)
+			}
+			if got := binary.LittleEndian.Uint32(want[8:]); got != unit {
+				t.Errorf("fixture uncompressed length %d, want %d", got, unit)
+			}
+			if got := binary.LittleEndian.Uint32(want[12:]); int(got) != len(want)-spillHeaderLen {
+				t.Errorf("fixture compLen %d, record carries %d", got, len(want)-spillHeaderLen)
+			}
+			out, err := decodeForTest(unit, want)
+			if err != nil {
+				t.Fatalf("fixture does not decode: %v", err)
+			}
+			if !bytes.Equal(out, fx.payload) {
+				t.Fatal("fixture decodes to different payload bytes")
+			}
+		})
+	}
+
+	if *updateSpillGolden {
+		writeSpillSeedCorpora(t)
+	}
+}
+
+func TestSpillVersionMismatch(t *testing.T) {
+	payload := goldenFCPayload(512)
+	rec := encodeForTest(payload)
+	rec[4] = spillVersion + 1
+	_, err := decodeForTest(512, rec)
+	if err == nil {
+		t.Fatal("decoder accepted a record with a future format version")
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Errorf("version-mismatch error does not say so: %v", err)
+	}
+}
+
+func TestSpillDecodeRejectsDamage(t *testing.T) {
+	payload := goldenFCPayload(512)
+	good := encodeForTest(payload)
+	damage := map[string]func([]byte) []byte{
+		"truncated-header":  func(r []byte) []byte { return r[:spillHeaderLen-1] },
+		"truncated-payload": func(r []byte) []byte { return r[:len(r)-1] },
+		"bad-magic":         func(r []byte) []byte { r[0] ^= 0xff; return r },
+		"reserved-set":      func(r []byte) []byte { r[6] = 1; return r },
+		"unknown-codec":     func(r []byte) []byte { r[5] = 9; return r },
+		"flipped-body":      func(r []byte) []byte { r[spillHeaderLen] ^= 0x40; return r },
+		"wrong-unclen":      func(r []byte) []byte { binary.LittleEndian.PutUint32(r[8:], 513); return r },
+		"all-zeros":         func(r []byte) []byte { return make([]byte, len(r)) },
+	}
+	for name, mutate := range damage {
+		t.Run(name, func(t *testing.T) {
+			rec := mutate(append([]byte(nil), good...))
+			if _, err := decodeForTest(512, rec); err == nil {
+				// A single body bit flip can still be a valid flate stream
+				// for another payload only with vanishing probability; all
+				// these mutations must be rejected.
+				t.Fatalf("decoder accepted a %s record", name)
+			}
+		})
+	}
+}
+
+// compressedStack builds a CompressedBackend over an in-memory store with
+// physical accounting underneath, the way hardenStack assembles it.
+func compressedStack(unit int, stats *Stats) (*CompressedBackend, Backend) {
+	mem := NewMemBackend()
+	return NewCompressedBackend(NewPhysCountBackend(mem, stats), unit, stats), mem
+}
+
+func TestCompressedBackendRoundtrip(t *testing.T) {
+	const unit = 512
+	stats := NewStats()
+	cb, _ := compressedStack(unit, stats)
+
+	blocks := [][]byte{
+		goldenFCPayload(unit),
+		goldenStoredPayload(unit),
+		make([]byte, unit),
+	}
+	for i, p := range blocks {
+		if _, err := cb.WriteAtCat(p, int64(i*unit), CatScratch); err != nil {
+			t.Fatalf("write block %d: %v", i, err)
+		}
+	}
+	got := make([]byte, unit)
+	for i, p := range blocks {
+		if _, err := cb.ReadAtCat(got, int64(i*unit), CatScratch); err != nil {
+			t.Fatalf("read block %d: %v", i, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("block %d read back different bytes", i)
+		}
+	}
+	// A block never written through the layer reads as zeros, costing no
+	// physical transfer.
+	physReads := stats.PhysReads(CatScratch)
+	if _, err := cb.ReadAtCat(got, int64(len(blocks)*unit), CatScratch); err != nil {
+		t.Fatalf("read unwritten block: %v", err)
+	}
+	if !allZero(got) {
+		t.Fatal("unwritten block did not read as zeros")
+	}
+	if stats.PhysReads(CatScratch) != physReads {
+		t.Error("reading an unwritten block touched the device")
+	}
+	// The compressible blocks must have shrunk the physical write bytes
+	// below the logical volume; the stored block pays only its header.
+	logical := int64(len(blocks) * unit)
+	phys := stats.PhysWriteBytes(CatScratch)
+	if phys >= logical {
+		t.Errorf("physical write bytes %d not below logical %d", phys, logical)
+	}
+	if cb.ScratchFramesLive() != 0 {
+		t.Errorf("%d codec scratch frames leaked", cb.ScratchFramesLive())
+	}
+}
+
+func TestCompressedBackendRewrite(t *testing.T) {
+	const unit = 512
+	stats := NewStats()
+	cb, _ := compressedStack(unit, stats)
+	a, b := goldenFCPayload(unit), goldenStoredPayload(unit)
+	got := make([]byte, unit)
+	// Rewriting a slot with different content (xstack pages do this) must
+	// serve the latest bytes even though the record lengths differ.
+	for _, p := range [][]byte{a, b, a} {
+		if _, err := cb.WriteAtCat(p, 0, CatScratch); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cb.ReadAtCat(got, 0, CatScratch); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatal("rewritten slot served stale bytes")
+		}
+	}
+}
+
+func TestCompressedBackendCorruption(t *testing.T) {
+	const unit = 512
+	t.Run("bitflip", func(t *testing.T) {
+		stats := NewStats()
+		cb, mem := compressedStack(unit, stats)
+		if _, err := cb.WriteAtCat(goldenFCPayload(unit), 0, CatScratch); err != nil {
+			t.Fatal(err)
+		}
+		// Flip one bit of the stored record body at rest.
+		raw := make([]byte, spillHeaderLen+8)
+		if _, err := mem.ReadAt(raw, 0); err != nil {
+			t.Fatal(err)
+		}
+		raw[spillHeaderLen+3] ^= 0x10
+		if _, err := mem.WriteAt(raw, 0); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, unit)
+		_, err := cb.ReadAtCat(got, 0, CatScratch)
+		var cbe *CorruptBlockError
+		if !errors.As(err, &cbe) {
+			t.Fatalf("bit-flipped block read returned %v, want *CorruptBlockError", err)
+		}
+		if !errors.Is(err, ErrCorruptBlock) {
+			t.Error("corrupt read does not match ErrCorruptBlock")
+		}
+		if stats.ChecksumFailures(CatScratch) == 0 {
+			t.Error("decode failure not counted")
+		}
+		if cb.ScratchFramesLive() != 0 {
+			t.Error("codec scratch leaked on the corrupt-read path")
+		}
+	})
+	t.Run("torn-to-zeros", func(t *testing.T) {
+		stats := NewStats()
+		cb, mem := compressedStack(unit, stats)
+		p := goldenFCPayload(unit)
+		if _, err := cb.WriteAtCat(p, 0, CatScratch); err != nil {
+			t.Fatal(err)
+		}
+		// Erase the record: a torn write whose surviving prefix is zeros
+		// must NOT read back as a plausible zero block, because a write
+		// was issued here.
+		rec := encodeForTest(p)
+		if _, err := mem.WriteAt(make([]byte, len(rec)), 0); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, unit)
+		if _, err := cb.ReadAtCat(got, 0, CatScratch); !errors.Is(err, ErrCorruptBlock) {
+			t.Fatalf("torn-to-zeros read returned %v, want ErrCorruptBlock", err)
+		}
+	})
+}
+
+func TestCompressedBackendAlignment(t *testing.T) {
+	cb, _ := compressedStack(512, NewStats())
+	if _, err := cb.WriteAtCat(make([]byte, 100), 0, CatScratch); err == nil {
+		t.Error("short write accepted")
+	}
+	if _, err := cb.ReadAtCat(make([]byte, 512), 7, CatScratch); err == nil {
+		t.Error("misaligned read accepted")
+	}
+}
+
+// writeSpillSeedCorpora regenerates the checked-in fuzz seed corpora under
+// testdata/fuzz/<FuzzName>/ (run via -update-spill-golden).
+func writeSpillSeedCorpora(t *testing.T) {
+	t.Helper()
+	write := func(fuzzName, seedName string, data []byte) {
+		dir := filepath.Join("testdata", "fuzz", fuzzName)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, seedName), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Roundtrip seeds: block payloads of every interesting shape.
+	write("FuzzSpillBlockRoundtrip", "keypath-records", goldenFCPayload(512))
+	write("FuzzSpillBlockRoundtrip", "incompressible", goldenStoredPayload(512))
+	write("FuzzSpillBlockRoundtrip", "zeros", make([]byte, 256))
+	write("FuzzSpillBlockRoundtrip", "mid-record", goldenFCPayload(1024)[171:683])
+	write("FuzzSpillBlockRoundtrip", "tiny", []byte{0x03, 'a', 'b', 'c'})
+	// Decode seeds: valid records for every codec, plus damaged ones.
+	fcRec := encodeForTest(goldenFCPayload(512))
+	stRec := encodeForTest(goldenStoredPayload(512))
+	flRec := encodeForTest(bytes.Repeat([]byte{0xab, 0xcd, 0x01}, 171)[:512])
+	write("FuzzSpillBlockDecode", "valid-front", fcRec)
+	write("FuzzSpillBlockDecode", "valid-stored", stRec)
+	write("FuzzSpillBlockDecode", "valid-flate", flRec)
+	badVer := append([]byte(nil), fcRec...)
+	badVer[4] = 9
+	write("FuzzSpillBlockDecode", "bad-version", badVer)
+	write("FuzzSpillBlockDecode", "truncated", fcRec[:len(fcRec)/2])
+	write("FuzzSpillBlockDecode", "garbage", goldenStoredPayload(96))
+}
+
+// FuzzSpillBlockRoundtrip drives encode→decode identity over arbitrary
+// payloads: whatever bytes a block holds — aligned records, mid-record
+// starts, garbage — the codec must reproduce them exactly, within the slot
+// bound, deterministically.
+func FuzzSpillBlockRoundtrip(f *testing.F) {
+	f.Add([]byte{0x03, 'a', 'b', 'c'})
+	f.Add(goldenFCPayload(512))
+	f.Add(make([]byte, 128))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) == 0 || len(payload) > 8<<10 {
+			t.Skip()
+		}
+		rec := encodeForTest(payload)
+		if len(rec) > len(payload)+spillHeaderLen {
+			t.Fatalf("record %d bytes exceeds the %d-byte slot", len(rec), len(payload)+spillHeaderLen)
+		}
+		out, err := decodeForTest(len(payload), rec)
+		if err != nil {
+			t.Fatalf("decode of a fresh encoding failed: %v", err)
+		}
+		if !bytes.Equal(out, payload) {
+			t.Fatal("roundtrip changed the payload")
+		}
+		if !bytes.Equal(rec, encodeForTest(payload)) {
+			t.Fatal("encoding is not deterministic")
+		}
+	})
+}
+
+// FuzzSpillBlockDecode throws arbitrary bytes at the decoder: it must
+// never panic — every outcome is either a successful decode or a typed
+// error, and the same input always produces the same outcome.
+func FuzzSpillBlockDecode(f *testing.F) {
+	f.Add(encodeForTest(goldenFCPayload(512)))
+	f.Add([]byte("NXSZ"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, rec []byte) {
+		if len(rec) > 1<<16 {
+			t.Skip()
+		}
+		for _, unit := range []int{64, 512} {
+			out1, err1 := decodeForTest(unit, rec)
+			out2, err2 := decodeForTest(unit, rec)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("decode not deterministic: %v vs %v", err1, err2)
+			}
+			if err1 == nil && !bytes.Equal(out1, out2) {
+				t.Fatal("successful decodes disagree")
+			}
+		}
+	})
+}

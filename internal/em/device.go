@@ -197,6 +197,7 @@ func (d *Device) ReadBlock(c Category, id int64, p []byte) error {
 		return fmt.Errorf("em: read block %d: %w", id, err)
 	}
 	d.stats.AddReads(c, 1)
+	d.stats.AddReadBytes(c, int64(d.blockSize))
 	if cache != nil {
 		d.stats.AddCacheMisses(c, 1)
 		cache.put(id, p)
@@ -240,6 +241,7 @@ func (d *Device) WriteBlock(c Category, id int64, p []byte) error {
 		return fmt.Errorf("em: write block %d: %w", id, err)
 	}
 	d.stats.AddWrites(c, 1)
+	d.stats.AddWriteBytes(c, int64(d.blockSize))
 	return nil
 }
 

@@ -54,6 +54,17 @@ type Config struct {
 	// of scratch space per block and one CRC pass per transfer; the
 	// block-transfer counters are unchanged.
 	VerifyChecksums bool
+	// CompressSpill stores every spill block in the compressed spill
+	// format (DESIGN.md §14): records are front-coded against their
+	// predecessor, the block is flate-compressed, and only the encoded
+	// bytes cross the device boundary. The logical block-transfer
+	// counters — the paper's model — are unchanged at every layer; the
+	// physical byte counters in Stats shrink with the data's redundancy
+	// (2-4× on key-path runs). Composes with VerifyChecksums: the
+	// checksummed record is what gets compressed, so verification still
+	// sees exactly the bytes it wrote. Decode failures surface as typed
+	// ErrCorruptBlock errors, like checksum failures.
+	CompressSpill bool
 	// Retry re-attempts backend operations that fail with a transient
 	// error (and, optionally, corrupt reads) under a bounded backoff.
 	// The zero policy disables retrying.
@@ -116,6 +127,22 @@ type Env struct {
 	// cacheGrant is the budget reservation backing the device's block
 	// cache (Conf.CacheBlocks), released on Close.
 	cacheGrant int
+
+	// spill is the compression layer in the backend stack, nil when
+	// Conf.CompressSpill is off; kept so leak checks can see its scratch
+	// pool.
+	spill *CompressedBackend
+}
+
+// SpillCodecFramesLive reports how many scratch frames the spill
+// compression layer holds live right now (always 0 with compression off).
+// The unwind invariant extends to the codec: after a sort returns — clean,
+// canceled, or faulted — this must be zero.
+func (e *Env) SpillCodecFramesLive() int {
+	if e.spill == nil {
+		return 0
+	}
+	return e.spill.ScratchFramesLive()
 }
 
 // Parallelism returns the resolved parallelism level: Conf.Parallelism, or
@@ -128,10 +155,11 @@ func (e *Env) Pool() *Pool { return e.pool }
 
 // NewEnv builds an environment from cfg. The spill backend is assembled
 // bottom-up: the raw store (file or memory), the scratch quota (if any),
-// the optional WrapBackend test hook (fault injection), then checksum
-// verification, then transient-fault retry — so retries re-drive
-// verification and verification sees exactly what the (possibly faulty)
-// device returned. The environment has no lifecycle: it can never be
+// the optional WrapBackend test hook (fault injection), then physical
+// byte accounting, spill compression, checksum verification, and
+// transient-fault retry — so retries re-drive decompression and
+// verification, and both see exactly what the (possibly faulty) device
+// returned. The environment has no lifecycle: it can never be
 // canceled. Use NewEnvContext to bound a run by a context.
 func NewEnv(cfg Config) (*Env, error) {
 	return newEnv(cfg, nil)
@@ -165,18 +193,23 @@ func newEnv(cfg Config, life *Lifecycle) (*Env, error) {
 	if cfg.ScratchQuotaBlocks > 0 {
 		// The quota sits directly on the raw store and is denominated in
 		// physical blocks: with checksums on, each logical block costs its
-		// trailer too, and that overhead must not eat into the quota's
-		// block count.
+		// trailer too, and with compression its slot header — that
+		// overhead must not eat into the quota's block count. Compressed
+		// records are shorter than their slot, but the quota meters slots:
+		// a block allocated is a block of quota spent.
 		phys := int64(cfg.BlockSize)
 		if cfg.VerifyChecksums {
 			phys += checksumTrailerLen
+		}
+		if cfg.CompressSpill {
+			phys += spillHeaderLen
 		}
 		backend = NewCapacityBackend(backend, cfg.ScratchQuotaBlocks*phys)
 	}
 	if cfg.WrapBackend != nil {
 		backend = cfg.WrapBackend(backend)
 	}
-	backend = HardenBackendLifecycle(backend, cfg, stats, life)
+	backend, spill := hardenStack(backend, cfg, stats, life)
 	dev := NewDevice(backend, cfg.BlockSize, stats)
 	dev.BindLifecycle(life)
 	dev.SetCapacityHint(cfg.ScratchQuotaBlocks)
@@ -190,6 +223,7 @@ func newEnv(cfg Config, life *Lifecycle) (*Env, error) {
 		Budget: budget,
 		Conf:   cfg,
 		pool:   NewPool(cfg.parallelism() - 1),
+		spill:  spill,
 	}
 	if cfg.CacheBlocks > 0 {
 		// The cache's residency comes out of M like any other buffer. Its
@@ -213,13 +247,40 @@ func HardenBackend(backend Backend, cfg Config, stats *Stats) Backend {
 // HardenBackendLifecycle is HardenBackend with the retry layer bound to a
 // run lifecycle, so backoff sleeps abort on cancellation.
 func HardenBackendLifecycle(backend Backend, cfg Config, stats *Stats, life *Lifecycle) Backend {
+	b, _ := hardenStack(backend, cfg, stats, life)
+	return b
+}
+
+// hardenStack assembles the hardening layers bottom-up and returns the top
+// of the stack plus the compression layer (nil when off):
+//
+//	retry → checksum → compression → physical counting → backend
+//
+// Physical counting sits innermost, directly on the (possibly
+// fault-injected) device, so the physical ledger sees exactly what crossed
+// the boundary. Compression sits below checksums — the checksummed record
+// is this layer's unit — so verification round-trips through the codec and
+// a corrupted compressed block fails decode (or, if the flate stream
+// survives, the CRC above). Retry stays on top: re-attempts re-drive
+// decode and verification.
+func hardenStack(backend Backend, cfg Config, stats *Stats, life *Lifecycle) (Backend, *CompressedBackend) {
+	backend = NewPhysCountBackend(backend, stats)
+	var spill *CompressedBackend
+	if cfg.CompressSpill {
+		unit := cfg.BlockSize
+		if cfg.VerifyChecksums {
+			unit += checksumTrailerLen
+		}
+		spill = NewCompressedBackend(backend, unit, stats)
+		backend = spill
+	}
 	if cfg.VerifyChecksums {
 		backend = NewChecksumBackend(backend, cfg.BlockSize, stats)
 	}
 	if cfg.Retry.Enabled() {
 		backend = NewRetryBackendLifecycle(backend, cfg.Retry, stats, life)
 	}
-	return backend
+	return backend, spill
 }
 
 // Close releases the scratch device (dropping any cached frames) and

@@ -1,0 +1,54 @@
+package em
+
+// physCountBackend charges the physical side of the Stats ledger: one
+// physical operation per backend call and exactly the bytes the device
+// actually moved. It sits innermost in the hardening stack — directly on
+// the (possibly fault-injected) raw store, below compression and
+// checksums — so the physical counters see what crosses the device
+// boundary: checksum trailers, compressed records, retried attempts. The
+// logical side (Reads/Writes and their bytes, charged by the Device in
+// whole blocks) is the paper's model and stays parallelism- and
+// hardening-invariant; the gap between the two ledgers is the measured
+// cost (trailers) or saving (compression) of the spill format.
+type physCountBackend struct {
+	inner Backend
+	stats *Stats
+}
+
+// NewPhysCountBackend wraps inner with physical-transfer accounting into
+// stats. Failed attempts still count as physical operations — they reached
+// the device — with the bytes that made it through.
+func NewPhysCountBackend(inner Backend, stats *Stats) Backend {
+	return &physCountBackend{inner: inner, stats: stats}
+}
+
+// ReadAt implements io.ReaderAt under the scratch category.
+func (b *physCountBackend) ReadAt(p []byte, off int64) (int, error) {
+	return b.ReadAtCat(p, off, CatScratch)
+}
+
+// WriteAt implements io.WriterAt under the scratch category.
+func (b *physCountBackend) WriteAt(p []byte, off int64) (int, error) {
+	return b.WriteAtCat(p, off, CatScratch)
+}
+
+// ReadAtCat reads through, charging one physical read of the transferred
+// size to category c.
+func (b *physCountBackend) ReadAtCat(p []byte, off int64, c Category) (int, error) {
+	n, err := readAtCat(b.inner, p, off, c)
+	b.stats.AddPhysReads(c, 1)
+	b.stats.AddPhysReadBytes(c, int64(n))
+	return n, err
+}
+
+// WriteAtCat writes through, charging one physical write of the
+// transferred size to category c.
+func (b *physCountBackend) WriteAtCat(p []byte, off int64, c Category) (int, error) {
+	n, err := writeAtCat(b.inner, p, off, c)
+	b.stats.AddPhysWrites(c, 1)
+	b.stats.AddPhysWriteBytes(c, int64(n))
+	return n, err
+}
+
+// Close closes the wrapped backend.
+func (b *physCountBackend) Close() error { return b.inner.Close() }

@@ -20,9 +20,25 @@ import (
 // update, but every figure reported by the sorters is read after the
 // worker pool has drained, where the counts are exact — and, by the
 // determinism guarantee (DESIGN.md), identical at every parallelism level.
+// The byte accounting is split into two ledgers. The logical side —
+// reads/writes and readBytes/writeBytes — is the paper's model: whole
+// blocks, charged by the Device (and the counting reader/writer at the
+// user-file boundary), invariant under parallelism and under every
+// hardening layer. The physical side — physReads/physWrites and their
+// bytes — is charged by the innermost backend layer and counts what
+// actually crossed the device boundary: checksum trailers widen it,
+// spill compression shrinks it, retries repeat it. Every I/O-count
+// invariant in the test suites holds on the logical side; the physical
+// side is where compression's 2-4× byte reduction becomes visible.
 type Stats struct {
 	reads    [numCategories]atomic.Int64
 	writes   [numCategories]atomic.Int64
+	readB    [numCategories]atomic.Int64
+	writeB   [numCategories]atomic.Int64
+	physR    [numCategories]atomic.Int64
+	physW    [numCategories]atomic.Int64
+	physRB   [numCategories]atomic.Int64
+	physWB   [numCategories]atomic.Int64
 	retries  [numCategories]atomic.Int64
 	ckFails  [numCategories]atomic.Int64
 	cacheHit [numCategories]atomic.Int64
@@ -39,6 +55,31 @@ func (s *Stats) AddReads(c Category, n int64) { s.reads[c].Add(n) }
 
 // AddWrites records n block writes under category c.
 func (s *Stats) AddWrites(c Category, n int64) { s.writes[c].Add(n) }
+
+// AddReadBytes records n logical bytes read under category c. Charged in
+// whole blocks wherever AddReads is charged, so per category
+// readBytes == reads × blockSize.
+func (s *Stats) AddReadBytes(c Category, n int64) { s.readB[c].Add(n) }
+
+// AddWriteBytes records n logical bytes written under category c.
+func (s *Stats) AddWriteBytes(c Category, n int64) { s.writeB[c].Add(n) }
+
+// AddPhysReads records n physical device reads under category c; charged
+// by the innermost backend layer, one per operation that reached the
+// device (retried attempts included).
+func (s *Stats) AddPhysReads(c Category, n int64) { s.physR[c].Add(n) }
+
+// AddPhysWrites records n physical device writes under category c.
+func (s *Stats) AddPhysWrites(c Category, n int64) { s.physW[c].Add(n) }
+
+// AddPhysReadBytes records n bytes physically read from the device under
+// category c — the transferred size after trailers and compression, not
+// the logical block size.
+func (s *Stats) AddPhysReadBytes(c Category, n int64) { s.physRB[c].Add(n) }
+
+// AddPhysWriteBytes records n bytes physically written to the device under
+// category c.
+func (s *Stats) AddPhysWriteBytes(c Category, n int64) { s.physWB[c].Add(n) }
 
 // AddRetries records n retried backend operations under category c. The
 // retry layer calls this once per re-attempt, so the counter measures
@@ -100,6 +141,61 @@ func (s *Stats) TotalWrites() int64 {
 // TotalIOs returns the total block transfers across all categories. This is
 // the paper's primary performance metric.
 func (s *Stats) TotalIOs() int64 { return s.TotalReads() + s.TotalWrites() }
+
+// ReadBytes returns the logical bytes read under category c.
+func (s *Stats) ReadBytes(c Category) int64 { return s.readB[c].Load() }
+
+// WriteBytes returns the logical bytes written under category c.
+func (s *Stats) WriteBytes(c Category) int64 { return s.writeB[c].Load() }
+
+// PhysReads returns the physical device reads recorded under category c.
+func (s *Stats) PhysReads(c Category) int64 { return s.physR[c].Load() }
+
+// PhysWrites returns the physical device writes recorded under category c.
+func (s *Stats) PhysWrites(c Category) int64 { return s.physW[c].Load() }
+
+// PhysReadBytes returns the bytes physically read under category c.
+func (s *Stats) PhysReadBytes(c Category) int64 { return s.physRB[c].Load() }
+
+// PhysWriteBytes returns the bytes physically written under category c.
+func (s *Stats) PhysWriteBytes(c Category) int64 { return s.physWB[c].Load() }
+
+// TotalReadBytes returns logical bytes read across all categories.
+func (s *Stats) TotalReadBytes() int64 {
+	var t int64
+	for i := range s.readB {
+		t += s.readB[i].Load()
+	}
+	return t
+}
+
+// TotalWriteBytes returns logical bytes written across all categories.
+func (s *Stats) TotalWriteBytes() int64 {
+	var t int64
+	for i := range s.writeB {
+		t += s.writeB[i].Load()
+	}
+	return t
+}
+
+// TotalPhysReadBytes returns physically read bytes across all categories.
+func (s *Stats) TotalPhysReadBytes() int64 {
+	var t int64
+	for i := range s.physRB {
+		t += s.physRB[i].Load()
+	}
+	return t
+}
+
+// TotalPhysWriteBytes returns physically written bytes across all
+// categories.
+func (s *Stats) TotalPhysWriteBytes() int64 {
+	var t int64
+	for i := range s.physWB {
+		t += s.physWB[i].Load()
+	}
+	return t
+}
 
 // Retries returns the retried operations recorded under category c.
 func (s *Stats) Retries(c Category) int64 { return s.retries[c].Load() }
@@ -180,6 +276,12 @@ func (s *Stats) Reset() {
 	for i := 0; i < int(numCategories); i++ {
 		s.reads[i].Store(0)
 		s.writes[i].Store(0)
+		s.readB[i].Store(0)
+		s.writeB[i].Store(0)
+		s.physR[i].Store(0)
+		s.physW[i].Store(0)
+		s.physRB[i].Store(0)
+		s.physWB[i].Store(0)
 		s.retries[i].Store(0)
 		s.ckFails[i].Store(0)
 		s.cacheHit[i].Store(0)
@@ -197,6 +299,12 @@ func (s *Stats) Snapshot() map[string]IOCount {
 		c := IOCount{
 			Reads:            s.reads[i].Load(),
 			Writes:           s.writes[i].Load(),
+			ReadBytes:        s.readB[i].Load(),
+			WriteBytes:       s.writeB[i].Load(),
+			PhysReads:        s.physR[i].Load(),
+			PhysWrites:       s.physW[i].Load(),
+			PhysReadBytes:    s.physRB[i].Load(),
+			PhysWriteBytes:   s.physWB[i].Load(),
 			Retries:          s.retries[i].Load(),
 			ChecksumFailures: s.ckFails[i].Load(),
 			CacheHits:        s.cacheHit[i].Load(),
@@ -204,8 +312,7 @@ func (s *Stats) Snapshot() map[string]IOCount {
 			Canceled:         s.canceled[i].Load(),
 			Exhausted:        s.exhaust[i].Load(),
 		}
-		if c.Reads == 0 && c.Writes == 0 && c.Retries == 0 && c.ChecksumFailures == 0 &&
-			c.CacheHits == 0 && c.CacheMisses == 0 && c.Canceled == 0 && c.Exhausted == 0 {
+		if c == (IOCount{}) {
 			continue
 		}
 		out[Category(i).String()] = c
@@ -218,6 +325,21 @@ func (s *Stats) Snapshot() map[string]IOCount {
 type IOCount struct {
 	Reads  int64
 	Writes int64
+	// ReadBytes and WriteBytes are the logical transfer volumes: whole
+	// blocks, exactly Reads/Writes × blockSize — the paper's model,
+	// invariant under parallelism and hardening.
+	ReadBytes  int64
+	WriteBytes int64
+	// PhysReads/PhysWrites count operations that reached the physical
+	// device (retried attempts included); zero on devices built without
+	// the hardening stack.
+	PhysReads  int64
+	PhysWrites int64
+	// PhysReadBytes and PhysWriteBytes are the bytes that actually crossed
+	// the device boundary: widened by checksum trailers, shrunk by spill
+	// compression.
+	PhysReadBytes  int64
+	PhysWriteBytes int64
 	// Retries counts backend operations that were re-attempted after a
 	// transient fault; zero on a healthy device.
 	Retries int64
@@ -255,6 +377,10 @@ func (s *Stats) String() string {
 	for _, name := range names {
 		c := snap[name]
 		fmt.Fprintf(&b, "%s r=%d w=%d", name, c.Reads, c.Writes)
+		if c.PhysReadBytes > 0 || c.PhysWriteBytes > 0 {
+			fmt.Fprintf(&b, " lbytes=%d/%d pbytes=%d/%d",
+				c.ReadBytes, c.WriteBytes, c.PhysReadBytes, c.PhysWriteBytes)
+		}
 		if c.Retries > 0 {
 			fmt.Fprintf(&b, " retry=%d", c.Retries)
 		}

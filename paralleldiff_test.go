@@ -114,6 +114,82 @@ func TestParallelDifferential(t *testing.T) {
 	}
 }
 
+// TestCompressedSpillConformance is the spill-format counterpart of the
+// differential suite: compression is a representation change below the
+// block abstraction, so with it on vs. off — at every parallelism level —
+// the output bytes must be identical and the logical per-category I/O
+// accounting (reads, writes, and their whole-block byte volumes) must not
+// move. What must move is the physical side: on the key-path workload the
+// bytes that actually cross the device shrink by at least 2×.
+func TestCompressedSpillConformance(t *testing.T) {
+	doc, _, err := chaostest.Doc(300, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := keys.ByAttrOrTag("key")
+
+	// logicalSide projects a snapshot onto the logical ledger, which is
+	// what must be invariant; the physical counters are supposed to
+	// differ between the two configurations.
+	logicalSide := func(snap map[string]em.IOCount) map[string]em.IOCount {
+		out := make(map[string]em.IOCount, len(snap))
+		for k, c := range snap {
+			out[k] = em.IOCount{
+				Reads: c.Reads, Writes: c.Writes,
+				ReadBytes: c.ReadBytes, WriteBytes: c.WriteBytes,
+				CacheHits: c.CacheHits, CacheMisses: c.CacheMisses,
+			}
+		}
+		return out
+	}
+	spillPhysWriteBytes := func(o *chaostest.Outcome) int64 {
+		var n int64
+		for _, c := range o.Stats.Snapshot() {
+			n += c.PhysWriteBytes
+		}
+		return n
+	}
+
+	for _, algo := range chaostest.Algorithms {
+		t.Run(algo.String(), func(t *testing.T) {
+			for _, p := range parallelLevels {
+				plain := chaostest.Run(doc, crit, chaostest.Trial{Algorithm: algo, Env: diffEnv(16, p)})
+				env := diffEnv(16, p)
+				env.CompressSpill = true
+				comp := chaostest.Run(doc, crit, chaostest.Trial{Algorithm: algo, Env: env})
+				for name, o := range map[string]*chaostest.Outcome{"plain": plain, "compressed": comp} {
+					if o.PanicValue != nil {
+						t.Fatalf("%s parallelism=%d: panic: %v", name, p, o.PanicValue)
+					}
+					if o.Err != nil {
+						t.Fatalf("%s parallelism=%d: %v", name, p, o.Err)
+					}
+					if o.FramesLive != 0 || o.BudgetInUse != 0 {
+						t.Fatalf("%s parallelism=%d: leaked %d frames, %d budget blocks",
+							name, p, o.FramesLive, o.BudgetInUse)
+					}
+				}
+				if comp.CodecFramesLive != 0 {
+					t.Errorf("parallelism=%d: %d codec scratch frames leaked", p, comp.CodecFramesLive)
+				}
+				if !bytes.Equal(plain.Output, comp.Output) {
+					t.Errorf("parallelism=%d: compression changed the output bytes", p)
+				}
+				want, got := logicalSide(plain.Stats.Snapshot()), logicalSide(comp.Stats.Snapshot())
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("parallelism=%d: compression moved the logical I/O counts\nplain:      %v\ncompressed: %v",
+						p, want, got)
+				}
+				plainB, compB := spillPhysWriteBytes(plain), spillPhysWriteBytes(comp)
+				if compB == 0 || compB*2 > plainB {
+					t.Errorf("parallelism=%d: physical spill write bytes %d vs %d uncompressed; want at least a 2x reduction",
+						p, compB, plainB)
+				}
+			}
+		})
+	}
+}
+
 // runNexsortOpts drives core.Sort directly so the paper's optional
 // techniques (compaction, graceful degeneration) can be switched on —
 // chaostest.Run always sorts with default options.
