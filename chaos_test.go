@@ -83,6 +83,7 @@ func TestChaosSoak(t *testing.T) {
 	}
 
 	trials := 0
+	groupsRun := 0
 	injected := map[string]int64{}
 	note := func(o *chaostest.Outcome) {
 		trials++
@@ -96,6 +97,7 @@ func TestChaosSoak(t *testing.T) {
 	// through: the sort must succeed with byte-identical output, and the
 	// retries must show up in the stats.
 	t.Run("transient", func(t *testing.T) {
+		groupsRun++
 		var faulted, retried int
 		for seed := int64(1); seed <= 15; seed++ {
 			for _, algo := range chaostest.Algorithms {
@@ -139,6 +141,7 @@ func TestChaosSoak(t *testing.T) {
 	// typed corruption error. A clean run with different bytes is the
 	// silent corruption the whole substrate exists to prevent.
 	t.Run("at-rest-corruption", func(t *testing.T) {
+		groupsRun++
 		var detected int
 		for seed := int64(1); seed <= 15; seed++ {
 			for _, algo := range chaostest.Algorithms {
@@ -176,6 +179,7 @@ func TestChaosSoak(t *testing.T) {
 	// rereading (cap below the budget again), every trial must heal to
 	// byte-identical output.
 	t.Run("in-transit-read", func(t *testing.T) {
+		groupsRun++
 		var healed int
 		for seed := int64(1); seed <= 10; seed++ {
 			for _, algo := range chaostest.Algorithms {
@@ -212,6 +216,7 @@ func TestChaosSoak(t *testing.T) {
 	// Success must mean identical bytes; failure must carry one of the
 	// failure model's types.
 	t.Run("mixed", func(t *testing.T) {
+		groupsRun++
 		var failed int
 		for seed := int64(1); seed <= 10; seed++ {
 			for _, algo := range chaostest.Algorithms {
@@ -253,6 +258,7 @@ func TestChaosSoak(t *testing.T) {
 	// the codec's per-operation scratch must be clean however the trial
 	// ends (chaosTrial asserts CodecFramesLive == 0 on every path).
 	t.Run("compressed-at-rest", func(t *testing.T) {
+		groupsRun++
 		envC := chaosEnv()
 		envC.CompressSpill = true
 		for _, algo := range chaostest.Algorithms {
@@ -299,6 +305,7 @@ func TestChaosSoak(t *testing.T) {
 	// slots, with retry healing what it can. Same contract as the plain
 	// mixed group.
 	t.Run("compressed-mix", func(t *testing.T) {
+		groupsRun++
 		var failed int
 		for seed := int64(1); seed <= 10; seed++ {
 			for _, algo := range chaostest.Algorithms {
@@ -338,6 +345,7 @@ func TestChaosSoak(t *testing.T) {
 	// to the sort, Env.Close must leave the scratch directory exactly as
 	// it found it. A leftover file after a faulted run is a scratch leak.
 	t.Run("file-backed", func(t *testing.T) {
+		groupsRun++
 		dir := t.TempDir()
 		for seed := int64(1); seed <= 5; seed++ {
 			for _, algo := range chaostest.Algorithms {
@@ -374,8 +382,51 @@ func TestChaosSoak(t *testing.T) {
 		}
 	})
 
-	t.Logf("chaos soak: %d trials, injected faults: %v", trials, injected)
-	if trials < 100 {
+	// Group 8 — the full fault mix with the async engine's pipelines on.
+	// Faults now land inside write-behind flushes (surfacing at the
+	// submitter's next touch point) and in-flight prefetches (surfacing at
+	// consumption); the invariant is unchanged: byte-identical output or a
+	// cleanly typed error, never a panic, a leaked frame, or a leaked
+	// budget block — the engine's own frames included.
+	t.Run("async-pipeline", func(t *testing.T) {
+		groupsRun++
+		var failed int
+		for seed := int64(1); seed <= 10; seed++ {
+			for _, algo := range chaostest.Algorithms {
+				env := chaosEnv()
+				env.ReadAhead, env.WriteBehind = 3, 3
+				tr := chaostest.Trial{Algorithm: algo, Env: env, Chaos: em.ChaosConfig{
+					Seed:               seed + 900,
+					ReadPermanentProb:  0.002,
+					WritePermanentProb: 0.002,
+					ReadTransientProb:  0.01,
+					WriteTransientProb: 0.01,
+					WriteBitFlipProb:   0.005,
+					TornWriteProb:      0.005,
+					MaxConsecutive:     4,
+				}}
+				o := chaosTrial(t, doc, crit, tr)
+				note(o)
+				switch {
+				case o.Err == nil:
+					if !bytes.Equal(o.Output, want[algo]) {
+						t.Fatalf("%v seed=%d: SILENT CORRUPTION through the async pipelines (injected %v)",
+							algo, seed, o.Injected)
+					}
+				case cleanlyTyped(o.Err):
+					failed++
+				default:
+					t.Fatalf("%v seed=%d: untyped error %v (injected %v)", algo, seed, o.Err, o.Injected)
+				}
+			}
+		}
+		t.Logf("async-pipeline: %d/20 trials failed with a typed error", failed)
+	})
+
+	t.Logf("chaos soak: %d trials across %d groups, injected faults: %v", trials, groupsRun, injected)
+	// The floor applies to the full soak; a -run filter that selects a
+	// subset of the groups (CI's -race async leg does) skips it.
+	if groupsRun == 8 && trials < 100 {
 		t.Errorf("soak ran %d trials, want at least 100", trials)
 	}
 }

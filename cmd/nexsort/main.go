@@ -44,6 +44,8 @@ func main() {
 		retryMax  = flag.Duration("retry-max-delay", 0, "cap on the retry backoff (0 = uncapped)")
 		quota     = flag.Int64("scratch-quota", 0, "fail with a scratch-exhausted error once spill storage exceeds this many blocks (0 = unlimited)")
 		compress  = flag.Bool("spill-compress", false, "front-code and deflate spill blocks on the scratch device; counted logical I/Os are unchanged, physical scratch bytes shrink")
+		readAhead = flag.Int("read-ahead", 0, "prefetch up to this many upcoming blocks per stream on a background worker (0 = synchronous reads); the counted logical I/Os are identical at every depth")
+		writeBeh  = flag.Int("write-behind", 0, "hand full blocks to a background flusher and keep computing, up to this queue depth (0 = synchronous writes); the counted logical I/Os are identical at every depth")
 		parallel  = flag.Int("parallel", 0, "worker parallelism: sorting overlaps with the input scan on up to this many goroutines (0 = GOMAXPROCS, 1 = sequential); output and I/O counts are identical at every setting")
 	)
 	flag.Parse()
@@ -106,6 +108,8 @@ func main() {
 		Parallelism:        *parallel,
 		ScratchQuotaBlocks: *quota,
 		CompressSpill:      *compress,
+		ReadAhead:          *readAhead,
+		WriteBehind:        *writeBeh,
 	}
 	opts := nexsort.Options{
 		Criterion:   crit,

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"nexsort/internal/em"
+	"nexsort/internal/gen"
+)
+
+// OverlapConfig parameterizes the overlapped-I/O experiment: both
+// algorithms against the file-backed scratch device, sweeping the
+// read-ahead/write-behind pipeline depths at several parallelism levels.
+type OverlapConfig struct {
+	Scale Scale
+	// ScratchDir hosts the workload and the spill device file. The
+	// experiment exists to measure overlap against a real device seam, so
+	// the directory is required.
+	ScratchDir string
+	Seed       int64
+	// MemBlocks fixes the memory budget (default 64 blocks: enough to
+	// carve the deepest swept pipeline out of and still spill heavily).
+	MemBlocks int
+	// Latency is the simulated per-operation device service time, layered
+	// beneath the hardening stack with em.LatencyBackend (default 300µs —
+	// a 2003-era disk's per-block cost at the default block size, the
+	// hardware the paper's cost model counts transfers for). Zero keeps
+	// the raw file backend, whose microsecond ops leave little to overlap.
+	Latency time.Duration
+}
+
+// OverlapRow is one measured configuration. Speedup compares against the
+// synchronous (depth 0) row with the same algorithm and parallelism; the
+// logical ledger is hard-checked, not reported: every depth must count
+// exactly the block transfers depth 0 counts.
+type OverlapRow struct {
+	Algo        string
+	Parallelism int
+	ReadAhead   int
+	WriteBehind int
+	Elements    int64
+
+	TotalIOs       int64
+	PrefetchHits   int64
+	PrefetchWasted int64
+	FlushStalls    int64
+	WallSeconds    float64
+	// Speedup is the synchronous wall clock over this row's (1.0 for the
+	// depth-0 rows themselves; higher is better).
+	Speedup float64
+}
+
+// overlapDepths is the swept (ReadAhead, WriteBehind) grid: the
+// synchronous baseline, a shallow pipeline, and a deep one.
+var overlapDepths = [][2]int{{0, 0}, {2, 2}, {8, 8}}
+
+// overlapParallelism matches the paralleldiff sweep.
+var overlapParallelism = []int{1, 2, 8}
+
+// Overlap measures the asynchronous I/O engine (DESIGN.md §15): the same
+// workload sorted by both algorithms at every (Parallelism, ReadAhead,
+// WriteBehind) combination on the file backend, under a simulated device
+// service time. One property is enforced rather than reported: the logical
+// per-category ledger — the paper's counted block transfers — must be
+// identical at every pipeline depth to the synchronous run with the same
+// algorithm and parallelism. Only wall clock and the overlap counters
+// (prefetch hits/waste, flush stalls) may move.
+func Overlap(cfg OverlapConfig) ([]OverlapRow, error) {
+	if cfg.ScratchDir == "" {
+		return nil, fmt.Errorf("bench: the overlap experiment measures the file backend and needs a scratch directory")
+	}
+	mem := cfg.MemBlocks
+	if mem == 0 {
+		mem = 64
+	}
+	latency := cfg.Latency
+	if latency == 0 {
+		latency = 300 * time.Microsecond
+	}
+	spec := gen.IBMSpec{
+		Height:      11,
+		MaxFanout:   6,
+		MaxElements: cfg.Scale.n(30000),
+		Seed:        cfg.Seed + 15,
+	}
+	w, err := GenerateWorkload(spec, cfg.ScratchDir, "overlap.xml")
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+
+	if latency > 0 {
+		prev := WrapBackend
+		WrapBackend = func(b em.Backend) em.Backend {
+			return em.NewLatencyBackend(b, latency, latency)
+		}
+		defer func() { WrapBackend = prev }()
+	}
+
+	var rows []OverlapRow
+	for _, algo := range []Algo{AlgoNEXSORT, AlgoMergeSort} {
+		for _, par := range overlapParallelism {
+			var baseWall float64
+			var baseLedger map[string]logicalIO
+			for _, depth := range overlapDepths {
+				res, err := Run(w, Params{
+					Algo:        algo,
+					BlockSize:   DefaultBlockSize,
+					MemBlocks:   mem,
+					ScratchDir:  cfg.ScratchDir,
+					Parallelism: par,
+					ReadAhead:   depth[0],
+					WriteBehind: depth[1],
+				})
+				if err != nil {
+					return nil, err
+				}
+				row := OverlapRow{
+					Algo:        algo.String(),
+					Parallelism: par,
+					ReadAhead:   depth[0],
+					WriteBehind: depth[1],
+					Elements:    res.Elements,
+					TotalIOs:    res.TotalIOs,
+					WallSeconds: res.WallSeconds,
+				}
+				for _, c := range res.IOs {
+					row.PrefetchHits += c.PrefetchHits
+					row.PrefetchWasted += c.PrefetchWasted
+					row.FlushStalls += c.FlushStalls
+				}
+				ledger := logicalLedger(res.IOs)
+				if depth == overlapDepths[0] {
+					baseWall, baseLedger = res.WallSeconds, ledger
+					row.Speedup = 1
+				} else {
+					if err := sameLedger(baseLedger, ledger); err != nil {
+						return nil, fmt.Errorf("bench: %v P=%d ra=%d wb=%d: the pipeline moved the logical ledger: %w",
+							algo, par, depth[0], depth[1], err)
+					}
+					if row.WallSeconds > 0 {
+						row.Speedup = baseWall / row.WallSeconds
+					}
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// logicalIO is the logical projection of one category's ledger: the
+// counted block transfers and their bytes, exactly the fields the paper's
+// accounting is made of. Physical counters and the overlap counters are
+// deliberately absent — those are the pipeline's own traffic and may move
+// with depth.
+type logicalIO struct {
+	Reads, Writes         int64
+	ReadBytes, WriteBytes int64
+}
+
+// logicalLedger projects the per-category I/O map onto its logical fields.
+func logicalLedger(ios map[string]em.IOCount) map[string]logicalIO {
+	out := make(map[string]logicalIO, len(ios))
+	for cat, c := range ios {
+		out[cat] = logicalIO{
+			Reads: c.Reads, Writes: c.Writes,
+			ReadBytes: c.ReadBytes, WriteBytes: c.WriteBytes,
+		}
+	}
+	return out
+}
+
+// sameLedger reports the first category whose logical ledger differs.
+func sameLedger(want, got map[string]logicalIO) error {
+	for cat, w := range want {
+		if g := got[cat]; g != w {
+			return fmt.Errorf("category %s: %+v at depth 0, %+v here", cat, w, g)
+		}
+	}
+	for cat := range got {
+		if _, ok := want[cat]; !ok && got[cat] != (logicalIO{}) {
+			return fmt.Errorf("category %s: absent at depth 0, %+v here", cat, got[cat])
+		}
+	}
+	return nil
+}
+
+// OverlapTable renders the overlap experiment.
+func OverlapTable(rows []OverlapRow) *Table {
+	t := &Table{
+		Title:  "Asynchronous I/O engine — wall clock vs pipeline depth on the file backend, simulated device latency (not a paper figure)",
+		Header: []string{"algorithm", "P", "read-ahead", "write-behind", "elements", "total I/Os", "pref hits", "pref waste", "flush stalls", "wall(s)", "speedup"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Algo, fmt.Sprintf("%d", r.Parallelism),
+			fmt.Sprintf("%d", r.ReadAhead), fmt.Sprintf("%d", r.WriteBehind),
+			d64(r.Elements), d64(r.TotalIOs),
+			d64(r.PrefetchHits), d64(r.PrefetchWasted), d64(r.FlushStalls),
+			f3(r.WallSeconds), fmt.Sprintf("%.2fx", r.Speedup),
+		})
+	}
+	return t
+}

@@ -54,10 +54,14 @@ type FileBackend struct {
 	f *os.File
 }
 
-// NewFileBackend creates (or truncates) the named file and returns a backend
-// over it.
+// NewFileBackend creates the named file exclusively and returns a backend
+// over it. The exclusive create (O_EXCL) makes collisions on a shared
+// scratch directory a hard error instead of a silent clobber: scratch
+// files are created fresh and removed on Close, so an existing file at the
+// path always means another live process (or a crashed one's leftovers) —
+// never data this process should overwrite.
 func NewFileBackend(path string) (*FileBackend, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("em: open backend file: %w", err)
 	}

@@ -138,8 +138,10 @@ func Run(doc []byte, crit *keys.Criterion, t Trial) *Outcome {
 	if out.Err == nil && out.PanicValue == nil {
 		out.Output = buf.Bytes()
 	}
-	out.BudgetInUse = env.Budget.InUse()
-	out.FramesLive = env.Dev.Frames().Live()
+	// Infrastructure grants (cache, async engine) are held until env.Close
+	// by design; what must be zero here is the algorithm's residency.
+	out.BudgetInUse = env.Budget.InUse() - env.InfraGrantBlocks()
+	out.FramesLive = env.Dev.Frames().Live() - env.Dev.CacheFrames()
 	out.CodecFramesLive = env.SpillCodecFramesLive()
 	if chaos != nil {
 		out.Injected = chaos.Injected()

@@ -39,6 +39,32 @@ type Config struct {
 	// total memory stays within M (see DESIGN.md §10).
 	CacheBlocks int
 
+	// ReadAhead, when positive, reserves that many pipeline blocks for the
+	// device's read-ahead worker: sequential readers (StreamReader, and
+	// everything built on it — extsort merge legs, runstore) prefetch
+	// upcoming blocks of their extent tables into those frames while the
+	// consumer computes. 0 (the default) keeps the device fully
+	// synchronous — the previous behavior. The pipeline frames are real
+	// budget grants, but they ride on top of MemBlocks (the budget's
+	// capacity is MemBlocks + ReadAhead + WriteBehind, with the depth
+	// granted to the engine up front): the sorters' share of M is
+	// untouched, which is exactly what keeps the output bytes and the
+	// logical I/O ledger byte-identical at every depth — a prefetched
+	// block charges its read only when consumed, and an unconsumed
+	// prefetch is surfaced as PrefetchWasted, never as a Read
+	// (DESIGN.md §15). Size MemBlocks down by the depth if the process's
+	// total residency must stay fixed.
+	ReadAhead int
+	// WriteBehind, when positive, reserves that many pipeline blocks for
+	// the device's write-behind queue: stream writers and the stack pager
+	// hand full frames to a flusher goroutine and keep computing instead
+	// of blocking on the device. 0 (the default) keeps writes synchronous.
+	// Like ReadAhead, the frames ride on top of MemBlocks, and each queued
+	// write is charged exactly once when it flushes, so the logical ledger
+	// is invariant under this knob too; flush errors surface at the
+	// submitter's next touch point with the usual typed taxonomy.
+	WriteBehind int
+
 	// ScratchQuotaBlocks, when positive, caps the scratch device at that
 	// many blocks: a CapacityBackend under the hardening layers refuses
 	// writes past the quota with the typed ErrScratchExhausted, and the
@@ -96,8 +122,14 @@ func (c Config) Validate() error {
 	if c.ScratchQuotaBlocks < 0 {
 		return fmt.Errorf("em: negative scratch quota %d blocks", c.ScratchQuotaBlocks)
 	}
+	if c.ReadAhead < 0 {
+		return fmt.Errorf("em: negative read-ahead %d blocks", c.ReadAhead)
+	}
+	if c.WriteBehind < 0 {
+		return fmt.Errorf("em: negative write-behind %d blocks", c.WriteBehind)
+	}
 	if c.CacheBlocks > 0 && c.MemBlocks-c.CacheBlocks < 5 {
-		return fmt.Errorf("em: cache of %d blocks leaves %d of %d for sorting (min 5)",
+		return fmt.Errorf("em: cache %d blocks leaves %d of %d for sorting (min 5)",
 			c.CacheBlocks, c.MemBlocks-c.CacheBlocks, c.MemBlocks)
 	}
 	return nil
@@ -128,6 +160,11 @@ type Env struct {
 	// cache (Conf.CacheBlocks), released on Close.
 	cacheGrant int
 
+	// asyncGrant is the budget reservation backing the async engine's
+	// frames (Conf.ReadAhead + Conf.WriteBehind), released on Close after
+	// the engine has drained and returned them to the pool.
+	asyncGrant int
+
 	// spill is the compression layer in the backend stack, nil when
 	// Conf.CompressSpill is off; kept so leak checks can see its scratch
 	// pool.
@@ -144,6 +181,14 @@ func (e *Env) SpillCodecFramesLive() int {
 	}
 	return e.spill.ScratchFramesLive()
 }
+
+// InfraGrantBlocks returns the budget blocks held by the environment's own
+// infrastructure — the block cache and the async engine — rather than by
+// the algorithm. These grants are taken at construction and live until
+// Close, so leak checks that run after an algorithm unwinds (but before
+// Close) subtract them: algorithm residency must be zero while the
+// environment's is by design.
+func (e *Env) InfraGrantBlocks() int { return e.cacheGrant + e.asyncGrant }
 
 // Parallelism returns the resolved parallelism level: Conf.Parallelism, or
 // GOMAXPROCS when that is zero.
@@ -213,7 +258,14 @@ func newEnv(cfg Config, life *Lifecycle) (*Env, error) {
 	dev := NewDevice(backend, cfg.BlockSize, stats)
 	dev.BindLifecycle(life)
 	dev.SetCapacityHint(cfg.ScratchQuotaBlocks)
-	budget := NewBudget(cfg.MemBlocks)
+	// The async engine's pipeline frames ride on top of M: capacity is
+	// expanded by the depth and the engine's grant is taken up front, so
+	// containment (live frames ≤ granted blocks) holds with the pipelines
+	// running while the sorters' share of M — and therefore their run
+	// geometry, output bytes and logical ledger — is identical at every
+	// depth (DESIGN.md §15).
+	asyncDepth := cfg.ReadAhead + cfg.WriteBehind
+	budget := NewBudget(cfg.MemBlocks + asyncDepth)
 	// The device's frame pool is the memory behind the budget's blocks:
 	// one substrate under every buffer, so grants and buffers can't drift.
 	budget.AttachFrames(dev.Frames())
@@ -233,6 +285,11 @@ func newEnv(cfg Config, life *Lifecycle) (*Env, error) {
 		budget.MustGrant(cfg.CacheBlocks)
 		env.cacheGrant = cfg.CacheBlocks
 		dev.EnableCache(cfg.CacheBlocks)
+	}
+	if asyncDepth > 0 {
+		budget.MustGrant(asyncDepth)
+		env.asyncGrant = asyncDepth
+		dev.EnableAsync(cfg.ReadAhead, cfg.WriteBehind)
 	}
 	return env, nil
 }
@@ -283,13 +340,18 @@ func hardenStack(backend Backend, cfg Config, stats *Stats, life *Lifecycle) (Ba
 	return backend, spill
 }
 
-// Close releases the scratch device (dropping any cached frames) and
-// returns the cache's budget grant.
+// Close releases the scratch device (draining the async engine, dropping
+// any cached frames) and returns the cache's and the engine's budget
+// grants.
 func (e *Env) Close() error {
 	err := e.Dev.Close()
 	if e.cacheGrant > 0 {
 		e.Budget.Release(e.cacheGrant)
 		e.cacheGrant = 0
+	}
+	if e.asyncGrant > 0 {
+		e.Budget.Release(e.asyncGrant)
+		e.asyncGrant = 0
 	}
 	return err
 }

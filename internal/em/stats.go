@@ -45,6 +45,14 @@ type Stats struct {
 	cacheMis [numCategories]atomic.Int64
 	canceled [numCategories]atomic.Int64
 	exhaust  [numCategories]atomic.Int64
+	// Overlap-pipeline counters (DESIGN.md §15). These describe the async
+	// engine's behavior — how well read-ahead predicted the access pattern
+	// and how often write-behind back-pressured — and are never folded into
+	// the logical Reads/Writes ledger: a prefetched block charges its
+	// logical read only when the reader actually consumes it.
+	prefHit   [numCategories]atomic.Int64
+	prefWaste [numCategories]atomic.Int64
+	flushStal [numCategories]atomic.Int64
 }
 
 // NewStats returns an empty Stats.
@@ -110,6 +118,24 @@ func (s *Stats) AddCanceled(c Category, n int64) { s.canceled[c].Add(n) }
 // AddExhausted records n block writes that failed because the scratch
 // device was out of space (quota or real ENOSPC), under category c.
 func (s *Stats) AddExhausted(c Category, n int64) { s.exhaust[c].Add(n) }
+
+// AddPrefetchHits records n blocks that a reader consumed out of its
+// read-ahead pipeline under category c. The logical read for such a block
+// is charged at consumption exactly as a synchronous read would be, so this
+// counter measures overlap, never block transfers.
+func (s *Stats) AddPrefetchHits(c Category, n int64) { s.prefHit[c].Add(n) }
+
+// AddPrefetchWasted records n blocks that read-ahead fetched but no reader
+// ever consumed (the reader closed early or jumped), under category c. A
+// wasted prefetch appears in the physical ledger — bytes really crossed the
+// device — but never in the logical Reads.
+func (s *Stats) AddPrefetchWasted(c Category, n int64) { s.prefWaste[c].Add(n) }
+
+// AddFlushStalls records n write-behind submissions that found the flush
+// queue full and had to wait, under category c. Stalls measure where the
+// pipeline depth was the bottleneck; the write itself is charged once, by
+// the flusher, when it executes.
+func (s *Stats) AddFlushStalls(c Category, n int64) { s.flushStal[c].Add(n) }
 
 // Reads returns the number of block reads recorded under category c.
 func (s *Stats) Reads(c Category) int64 { return s.reads[c].Load() }
@@ -247,6 +273,47 @@ func (s *Stats) TotalExhausted() int64 {
 	return t
 }
 
+// PrefetchHits returns the consumed read-ahead blocks recorded under
+// category c.
+func (s *Stats) PrefetchHits(c Category) int64 { return s.prefHit[c].Load() }
+
+// PrefetchWasted returns the unconsumed read-ahead blocks recorded under
+// category c.
+func (s *Stats) PrefetchWasted(c Category) int64 { return s.prefWaste[c].Load() }
+
+// FlushStalls returns the write-behind queue stalls recorded under
+// category c.
+func (s *Stats) FlushStalls(c Category) int64 { return s.flushStal[c].Load() }
+
+// TotalPrefetchHits returns consumed read-ahead blocks across all
+// categories.
+func (s *Stats) TotalPrefetchHits() int64 {
+	var t int64
+	for i := range s.prefHit {
+		t += s.prefHit[i].Load()
+	}
+	return t
+}
+
+// TotalPrefetchWasted returns unconsumed read-ahead blocks across all
+// categories.
+func (s *Stats) TotalPrefetchWasted() int64 {
+	var t int64
+	for i := range s.prefWaste {
+		t += s.prefWaste[i].Load()
+	}
+	return t
+}
+
+// TotalFlushStalls returns write-behind stalls across all categories.
+func (s *Stats) TotalFlushStalls() int64 {
+	var t int64
+	for i := range s.flushStal {
+		t += s.flushStal[i].Load()
+	}
+	return t
+}
+
 // CacheHits returns the cache hits recorded under category c.
 func (s *Stats) CacheHits(c Category) int64 { return s.cacheHit[c].Load() }
 
@@ -288,6 +355,9 @@ func (s *Stats) Reset() {
 		s.cacheMis[i].Store(0)
 		s.canceled[i].Store(0)
 		s.exhaust[i].Store(0)
+		s.prefHit[i].Store(0)
+		s.prefWaste[i].Store(0)
+		s.flushStal[i].Store(0)
 	}
 }
 
@@ -311,6 +381,9 @@ func (s *Stats) Snapshot() map[string]IOCount {
 			CacheMisses:      s.cacheMis[i].Load(),
 			Canceled:         s.canceled[i].Load(),
 			Exhausted:        s.exhaust[i].Load(),
+			PrefetchHits:     s.prefHit[i].Load(),
+			PrefetchWasted:   s.prefWaste[i].Load(),
+			FlushStalls:      s.flushStal[i].Load(),
 		}
 		if c == (IOCount{}) {
 			continue
@@ -358,6 +431,17 @@ type IOCount struct {
 	// Exhausted counts block writes that failed for lack of scratch space;
 	// zero unless the device filled up (quota or ENOSPC).
 	Exhausted int64
+	// PrefetchHits counts blocks a reader consumed out of its read-ahead
+	// pipeline; the block's logical read is charged at consumption, so this
+	// never inflates Reads. Zero unless Config.ReadAhead > 0.
+	PrefetchHits int64
+	// PrefetchWasted counts read-ahead blocks fetched but never consumed:
+	// physical traffic with no logical charge. Zero unless
+	// Config.ReadAhead > 0.
+	PrefetchWasted int64
+	// FlushStalls counts write-behind submissions that waited on a full
+	// flush queue. Zero unless Config.WriteBehind > 0.
+	FlushStalls int64
 }
 
 // Total returns reads+writes.
@@ -389,6 +473,12 @@ func (s *Stats) String() string {
 		}
 		if c.CacheHits > 0 || c.CacheMisses > 0 {
 			fmt.Fprintf(&b, " hit=%d miss=%d", c.CacheHits, c.CacheMisses)
+		}
+		if c.PrefetchHits > 0 || c.PrefetchWasted > 0 {
+			fmt.Fprintf(&b, " pref=%d waste=%d", c.PrefetchHits, c.PrefetchWasted)
+		}
+		if c.FlushStalls > 0 {
+			fmt.Fprintf(&b, " stall=%d", c.FlushStalls)
 		}
 		if c.Canceled > 0 {
 			fmt.Fprintf(&b, " canceled=%d", c.Canceled)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // Stream is an append-only byte sequence stored in device blocks, the
@@ -49,17 +50,6 @@ func (s *Stream) Blocks() int {
 	return len(s.blocks)
 }
 
-func (s *Stream) appendBlock(p []byte) error {
-	id := s.dev.AllocBlock()
-	if err := s.dev.WriteBlock(s.cat, id, p); err != nil {
-		return err
-	}
-	s.mu.Lock()
-	s.blocks = append(s.blocks, id)
-	s.mu.Unlock()
-	return nil
-}
-
 func (s *Stream) blockID(i int) (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -72,6 +62,12 @@ func (s *Stream) blockID(i int) (int64, error) {
 // StreamWriter appends bytes to a Stream through a single block-sized
 // buffer. Construct with Stream.NewWriter; the buffer is granted from the
 // supplied Budget and released on Close.
+//
+// On a device with write-behind enabled, a full buffer is handed to the
+// flusher goroutine and the writer acquires a fresh frame instead of
+// blocking on the device; flush errors (including ErrExhausted) surface at
+// the next Write or at Close, and Close drains every outstanding flush
+// before sealing the stream.
 type StreamWriter struct {
 	s      *Stream
 	budget *Budget
@@ -79,6 +75,15 @@ type StreamWriter struct {
 	buf    []byte
 	used   int
 	closed bool
+
+	// Write-behind state. wg tracks outstanding flushes; the first flush
+	// error is latched under errMu and delivered at the next touch point
+	// (errSet makes the common no-error check lock-free).
+	async    bool
+	wg       sync.WaitGroup
+	errMu    sync.Mutex
+	flushErr error
+	errSet   atomic.Bool
 }
 
 // NewWriter opens the stream for appending. One block of main memory is
@@ -97,7 +102,62 @@ func (s *Stream) NewWriter(budget *Budget) (*StreamWriter, error) {
 		}
 	}
 	frame := s.dev.Frames().Acquire()
-	return &StreamWriter{s: s, budget: budget, frame: frame, buf: frame.Bytes()}, nil
+	_, wb := s.dev.AsyncDepths()
+	return &StreamWriter{s: s, budget: budget, frame: frame, buf: frame.Bytes(), async: wb > 0}, nil
+}
+
+// onFlush is the write-behind completion callback; it runs on the flusher
+// goroutine.
+func (w *StreamWriter) onFlush(err error) {
+	if err != nil {
+		w.errMu.Lock()
+		if w.flushErr == nil {
+			w.flushErr = err
+			w.errSet.Store(true)
+		}
+		w.errMu.Unlock()
+	}
+	w.wg.Done()
+}
+
+// flushError reports the latched write-behind error, if any.
+func (w *StreamWriter) flushError() error {
+	if !w.errSet.Load() {
+		return nil
+	}
+	w.errMu.Lock()
+	defer w.errMu.Unlock()
+	return w.flushErr
+}
+
+// flushBlock ships the writer's (full) buffer to a freshly allocated
+// device block — through the write-behind queue when available, falling
+// back to a synchronous write — and appends the block to the extent table.
+// IDs are allocated and appended in stream order on both paths; on the
+// async path the append happens at submission, which is safe because a
+// stream whose flush failed is never sealed and so can never be read.
+func (w *StreamWriter) flushBlock() error {
+	s := w.s
+	id := s.dev.AllocBlock()
+	if w.async {
+		w.wg.Add(1)
+		if s.dev.WriteBlockBehind(s.cat, id, w.frame, w.onFlush) {
+			s.mu.Lock()
+			s.blocks = append(s.blocks, id)
+			s.mu.Unlock()
+			w.frame = s.dev.Frames().Acquire()
+			w.buf = w.frame.Bytes()
+			return nil
+		}
+		w.wg.Done() // engine unavailable (shutting down): go synchronous
+	}
+	if err := s.dev.WriteBlock(s.cat, id, w.buf); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.blocks = append(s.blocks, id)
+	s.mu.Unlock()
+	return nil
 }
 
 // Write appends p to the stream, flushing whole blocks to the device as the
@@ -106,6 +166,9 @@ func (w *StreamWriter) Write(p []byte) (int, error) {
 	if w.closed {
 		return 0, fmt.Errorf("em: write to closed StreamWriter")
 	}
+	if err := w.flushError(); err != nil {
+		return 0, err
+	}
 	total := 0
 	for len(p) > 0 {
 		n := copy(w.buf[w.used:], p)
@@ -113,11 +176,11 @@ func (w *StreamWriter) Write(p []byte) (int, error) {
 		p = p[n:]
 		total += n
 		if w.used == len(w.buf) {
-			if err := w.s.appendBlock(w.buf); err != nil {
+			if err := w.flushBlock(); err != nil {
 				return total, err
 			}
 			w.s.mu.Lock()
-			w.s.size += int64(len(w.buf))
+			w.s.size += int64(w.s.dev.BlockSize())
 			w.s.mu.Unlock()
 			w.used = 0
 		}
@@ -125,8 +188,11 @@ func (w *StreamWriter) Write(p []byte) (int, error) {
 	return total, nil
 }
 
-// Close flushes any partial final block (zero-padded on disk, excluded from
-// Size), seals the stream for reading, and releases the buffer grant.
+// Close flushes any partial final block (zero-padded on disk, excluded
+// from Size), drains every outstanding write-behind flush, seals the
+// stream for reading, and releases the buffer grant. A stream whose
+// flushes did not all succeed is not sealed; the first flush error is
+// returned here if it was not already delivered to a Write.
 func (w *StreamWriter) Close() error {
 	if w.closed {
 		return nil
@@ -139,17 +205,29 @@ func (w *StreamWriter) Close() error {
 			w.budget.Release(1)
 		}
 	}()
+	var firstErr error
 	if w.used > 0 {
 		for i := w.used; i < len(w.buf); i++ {
 			w.buf[i] = 0
 		}
-		if err := w.s.appendBlock(w.buf); err != nil {
-			return err
-		}
-		w.s.mu.Lock()
-		w.s.size += int64(w.used)
-		w.s.mu.Unlock()
+		used := w.used
 		w.used = 0
+		if err := w.flushBlock(); err != nil {
+			firstErr = err
+		} else {
+			w.s.mu.Lock()
+			w.s.size += int64(used)
+			w.s.mu.Unlock()
+		}
+	}
+	// Drain: every submitted flush has completed (and charged its logical
+	// write) before the stream becomes readable.
+	w.wg.Wait()
+	if err := w.flushError(); firstErr == nil && err != nil {
+		firstErr = err
+	}
+	if firstErr != nil {
+		return firstErr
 	}
 	w.s.mu.Lock()
 	w.s.sealed = true
@@ -161,6 +239,14 @@ func (w *StreamWriter) Close() error {
 // holding one block of the stream in memory at a time. Re-opening a reader
 // mid-stream re-reads the containing block, which is exactly the 1+p(b)
 // block-access pattern accounted for in Lemma 4.12.
+//
+// On a device with read-ahead enabled, the reader keeps up to the
+// configured depth of upcoming extent-table blocks in flight on the
+// prefetch worker, swapping its buffer frame against completed slots as it
+// advances. Tokens are shared device-wide and acquired without blocking,
+// so any number of concurrent readers degrade to synchronous reads rather
+// than contend; the logical read for each block is charged when the reader
+// enters it, prefetched or not.
 type StreamReader struct {
 	s      *Stream
 	cat    Category
@@ -170,6 +256,19 @@ type StreamReader struct {
 	cur    int // index of the block currently in buf, -1 if none
 	pos    int64
 	closed bool
+
+	// Read-ahead pipeline: slots holds scheduled fetches for consecutive
+	// block indexes; nextFetch is the next index to schedule.
+	ra        int
+	slots     []readerSlot
+	nextFetch int
+}
+
+// readerSlot pairs a scheduled prefetch with the extent-table index it
+// will satisfy.
+type readerSlot struct {
+	blk  int
+	slot *prefetchSlot
 }
 
 // NewReader opens the stream for reading starting at byte offset off,
@@ -200,7 +299,8 @@ func (s *Stream) NewReaderCat(budget *Budget, off int64, cat Category) (*StreamR
 		}
 	}
 	frame := s.dev.Frames().Acquire()
-	return &StreamReader{s: s, cat: cat, budget: budget, frame: frame, buf: frame.Bytes(), cur: -1, pos: off}, nil
+	ra, _ := s.dev.AsyncDepths()
+	return &StreamReader{s: s, cat: cat, budget: budget, frame: frame, buf: frame.Bytes(), cur: -1, pos: off, ra: ra}, nil
 }
 
 // Offset returns the byte offset of the next read.
@@ -218,20 +318,79 @@ func (r *StreamReader) Read(p []byte) (int, error) {
 	bs := int64(len(r.buf))
 	blk := int(r.pos / bs)
 	if blk != r.cur {
-		id, err := r.s.blockID(blk)
-		if err != nil {
+		if err := r.enterBlock(blk); err != nil {
 			return 0, err
 		}
-		if err := r.s.dev.ReadBlock(r.cat, id, r.buf); err != nil {
-			return 0, err
-		}
-		r.cur = blk
 	}
 	inBlock := int(r.pos % bs)
 	avail := int(min64(bs, size-int64(blk)*bs)) - inBlock
 	n := copy(p, r.buf[inBlock:inBlock+avail])
 	r.pos += int64(n)
 	return n, nil
+}
+
+// enterBlock makes blk the resident block: from the read-ahead pipeline
+// when its head slot matches, synchronously otherwise, then tops the
+// pipeline back up behind the new position.
+func (r *StreamReader) enterBlock(blk int) error {
+	if r.ra > 0 {
+		// Drop slots the position has moved past (a failed consume that was
+		// later satisfied synchronously leaves one behind).
+		for len(r.slots) > 0 && r.slots[0].blk < blk {
+			r.s.dev.async.abandon(r.slots[0].slot)
+			r.slots = r.slots[1:]
+		}
+		r.fillPipeline(blk)
+		if len(r.slots) > 0 && r.slots[0].blk == blk {
+			head := r.slots[0]
+			frame, err := r.s.dev.async.consume(head.slot, r.frame)
+			r.frame = frame
+			r.buf = frame.Bytes()
+			if err != nil {
+				r.slots = r.slots[1:]
+				return err
+			}
+			r.slots = r.slots[1:]
+			r.cur = blk
+			r.fillPipeline(blk + 1)
+			return nil
+		}
+	}
+	id, err := r.s.blockID(blk)
+	if err != nil {
+		return err
+	}
+	if err := r.s.dev.ReadBlock(r.cat, id, r.buf); err != nil {
+		return err
+	}
+	r.cur = blk
+	if r.ra > 0 {
+		r.fillPipeline(blk + 1)
+	}
+	return nil
+}
+
+// fillPipeline schedules prefetches for consecutive blocks starting no
+// earlier than from, up to the read-ahead depth, stopping early when the
+// device has no free tokens (concurrent readers share them; whoever is
+// short simply reads synchronously).
+func (r *StreamReader) fillPipeline(from int) {
+	nblocks := r.s.Blocks()
+	if r.nextFetch < from {
+		r.nextFetch = from
+	}
+	for len(r.slots) < r.ra && r.nextFetch < nblocks {
+		id, err := r.s.blockID(r.nextFetch)
+		if err != nil {
+			return
+		}
+		s := r.s.dev.async.tryPrefetch(r.cat, id)
+		if s == nil {
+			return
+		}
+		r.slots = append(r.slots, readerSlot{blk: r.nextFetch, slot: s})
+		r.nextFetch++
+	}
 }
 
 // ReadByte implements io.ByteReader.
@@ -247,12 +406,18 @@ func (r *StreamReader) ReadByte() (byte, error) {
 	return 0, err
 }
 
-// Close recycles the buffer frame and releases its grant.
+// Close abandons any in-flight prefetches (waiting for the worker to
+// finish with their frames), recycles the buffer frame and releases its
+// grant.
 func (r *StreamReader) Close() error {
 	if r.closed {
 		return nil
 	}
 	r.closed = true
+	for _, rs := range r.slots {
+		r.s.dev.async.abandon(rs.slot)
+	}
+	r.slots = nil
 	r.s.dev.Frames().Release(r.frame)
 	r.buf = nil
 	if r.budget != nil {

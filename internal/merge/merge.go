@@ -42,9 +42,9 @@ type Options struct {
 	// Indent pretty-prints the output; empty writes compact XML.
 	Indent string
 	// Parallelism bounds the merge's goroutines. Above one, each input's
-	// parse+annotate pipeline runs on its own goroutine feeding a bounded
-	// token channel, overlapping the two decoders with the merging
-	// consumer; per-stream token order is unchanged, so the output is
+	// raw bytes are read ahead block by block on a producer goroutine,
+	// overlapping the two inputs' I/O with the parse+merge consumer; the
+	// byte stream each parser sees is unchanged, so the output is
 	// byte-identical to the sequential merge. 0 defaults to GOMAXPROCS;
 	// 1 forces sequential execution.
 	Parallelism int
@@ -413,9 +413,10 @@ func unionAttrs(a, b []xmltok.Attr, preferRight bool) []xmltok.Attr {
 }
 
 // parserStream is a live annotated token stream with lookahead. With
-// pipelining, the parse+annotate work runs on a producer goroutine ahead
-// of the consumer; fetch order (and so everything the merger sees) is
-// identical either way.
+// pipelining, the raw input bytes are read ahead block by block on a
+// producer goroutine (blockReadAhead below); parse+annotate runs on the
+// consumer over the identical byte stream, so everything the merger sees
+// is the same either way.
 type parserStream struct {
 	fetch   func() (xmltok.Token, error)
 	stopFn  func()
@@ -423,16 +424,24 @@ type parserStream struct {
 	peekErr error
 }
 
-// prefetchDepth is the producer's lookahead bound in tokens: deep enough
-// to absorb decode/merge burstiness, small enough that the buffered tokens
-// stay well under one block-sized working set. This is the one deliberate
-// block-buffer exception in the tree (DESIGN.md §10): the lookahead is
-// token-granular, not block-granular, so it buys no frame from the pool —
-// its footprint rides on the input streams' own frames, which is why the
-// merger's budget arithmetic never mentions it.
-const prefetchDepth = 256
+// Block read-ahead geometry for pipelined inputs. The merge is deviceless
+// — its inputs are plain io.Readers, not em streams — so the depth is a
+// package constant rather than em.Config.ReadAhead, but the shape is the
+// same as the device engine's (DESIGN.md §15): a bounded ring of
+// block-sized buffers filled ahead of the consumer, recycled as they
+// drain. Lookahead is block-granular, mirroring how em.StreamReader
+// prefetches the next depth blocks of its extent table.
+const (
+	readAheadBlockBytes = 16 << 10
+	readAheadBlocks     = 4
+)
 
 func newParserStream(r io.Reader, c *keys.Criterion, elements *int64, pipelined bool) *parserStream {
+	stopFn := func() {}
+	if pipelined {
+		ra := newBlockReadAhead(r)
+		r, stopFn = ra, ra.stop
+	}
 	p := xmltok.NewParser(r, xmltok.DefaultParserOptions())
 	a := keys.NewAnnotator(c, nil)
 	fetch := func() (xmltok.Token, error) {
@@ -448,63 +457,104 @@ func newParserStream(r io.Reader, c *keys.Criterion, elements *int64, pipelined 
 		}
 		return tok, nil
 	}
-	s := &parserStream{fetch: fetch, stopFn: func() {}}
-	if pipelined {
-		s.fetch, s.stopFn = prefetch(fetch)
-	}
-	return s
+	return &parserStream{fetch: fetch, stopFn: stopFn}
 }
 
-// stop shuts the producer goroutine down (and waits for it), so an early
-// merge error neither leaks the goroutine nor races its report counting.
-// A no-op for sequential streams and after the stream is exhausted.
+// stop shuts the read-ahead goroutine down (and waits for it), so an
+// early merge error neither leaks the goroutine nor leaves it blocked on
+// a half-consumed input. A no-op for sequential streams and after the
+// stream is exhausted.
 func (s *parserStream) stop() { s.stopFn() }
 
-// tokenFetch is one producer result: a token or the stream's terminal error.
-type tokenFetch struct {
-	tok xmltok.Token
-	err error
+// raBlock is one produced read-ahead block: the filled prefix of a ring
+// buffer, plus the stream's terminal error once there is one.
+type raBlock struct {
+	buf  []byte // the ring buffer, for recycling
+	data []byte // buf[:n], the bytes actually read
+	err  error
 }
 
-// prefetch runs fetch on its own goroutine, decoding up to prefetchDepth
-// tokens ahead of the consumer through a bounded channel. Tokens are value
-// types (fresh Attrs per token), so handing them across is safe.
-func prefetch(fetch func() (xmltok.Token, error)) (func() (xmltok.Token, error), func()) {
-	ch := make(chan tokenFetch, prefetchDepth)
-	quit := make(chan struct{})
-	go func() {
-		defer close(ch)
-		for {
-			tok, err := fetch()
-			select {
-			case ch <- tokenFetch{tok: tok, err: err}:
-				if err != nil {
-					return
-				}
-			case <-quit:
-				return
-			}
-		}
-	}()
-	var stopped bool
-	next := func() (xmltok.Token, error) {
-		f, ok := <-ch
-		if !ok {
-			// Fetch past the terminal error: keep reporting end of stream.
-			return xmltok.Token{}, io.EOF
-		}
-		return f.tok, f.err
+// blockReadAhead is an io.Reader that keeps up to readAheadBlocks blocks
+// of the underlying reader in flight on a producer goroutine. Buffers
+// recycle through the free ring, so the steady-state footprint is
+// readAheadBlocks+1 blocks regardless of input size. The consumer sees
+// the byte stream unchanged; only the timing of the underlying reads
+// moves.
+type blockReadAhead struct {
+	full chan raBlock
+	free chan []byte
+	quit chan struct{}
+
+	cur     raBlock // block being drained; err delivered after its bytes
+	stopped bool
+}
+
+func newBlockReadAhead(r io.Reader) *blockReadAhead {
+	ra := &blockReadAhead{
+		full: make(chan raBlock, readAheadBlocks),
+		free: make(chan []byte, readAheadBlocks+1),
+		quit: make(chan struct{}),
 	}
-	stop := func() {
-		if stopped {
+	for i := 0; i < readAheadBlocks+1; i++ {
+		ra.free <- make([]byte, readAheadBlockBytes)
+	}
+	go ra.produce(r)
+	return ra
+}
+
+func (ra *blockReadAhead) produce(r io.Reader) {
+	defer close(ra.full)
+	for {
+		var buf []byte
+		select {
+		case buf = <-ra.free:
+		case <-ra.quit:
 			return
 		}
-		stopped = true
-		close(quit)
-		for range ch { // wait for the producer's deferred close
+		n, err := io.ReadFull(r, buf)
+		if err == io.ErrUnexpectedEOF {
+			err = io.EOF // a short final block, delivered before the EOF
+		}
+		select {
+		case ra.full <- raBlock{buf: buf, data: buf[:n], err: err}:
+			if err != nil {
+				return
+			}
+		case <-ra.quit:
+			return
 		}
 	}
-	return next, stop
+}
+
+func (ra *blockReadAhead) Read(p []byte) (int, error) {
+	for len(ra.cur.data) == 0 {
+		if ra.cur.err != nil {
+			return 0, ra.cur.err
+		}
+		if ra.cur.buf != nil {
+			ra.free <- ra.cur.buf
+			ra.cur = raBlock{}
+		}
+		blk, ok := <-ra.full
+		if !ok {
+			return 0, io.EOF
+		}
+		ra.cur = blk
+	}
+	n := copy(p, ra.cur.data)
+	ra.cur.data = ra.cur.data[n:]
+	return n, nil
+}
+
+// stop halts the producer and waits for it to exit. Idempotent.
+func (ra *blockReadAhead) stop() {
+	if ra.stopped {
+		return
+	}
+	ra.stopped = true
+	close(ra.quit)
+	for range ra.full { // wait for the producer's deferred close
+	}
 }
 
 func (s *parserStream) peek() (xmltok.Token, error) {

@@ -200,6 +200,23 @@ type Config struct {
 	// like a checksum mismatch. Default off: the paper's model stores
 	// blocks verbatim.
 	CompressSpill bool
+	// ReadAhead reserves this many pipeline blocks (on top of the memory
+	// budget, so the sorter's share of M is untouched) for the scratch
+	// device's read-ahead worker: sequential run readers prefetch
+	// upcoming blocks while the sorter computes, overlapping I/O with
+	// work. The sorted output and the counted logical block transfers
+	// are identical at every depth — a prefetched block is charged only
+	// when consumed. Default 0: fully synchronous I/O, the paper's
+	// model.
+	ReadAhead int
+	// WriteBehind reserves this many pipeline blocks (on top of the
+	// memory budget, like ReadAhead) for the scratch device's
+	// write-behind queue: full run and stack blocks are flushed by a
+	// background goroutine while the sorter keeps going. Like ReadAhead
+	// it changes wall-clock time only; flush errors (including scratch
+	// exhaustion) surface at the next operation on the same stream with
+	// the usual typed taxonomy. Default 0: synchronous writes.
+	WriteBehind int
 }
 
 // Defaults for Config.
@@ -237,6 +254,8 @@ func (c Config) normalize() (em.Config, error) {
 		CacheBlocks:        c.CacheBlocks,
 		ScratchQuotaBlocks: c.ScratchQuotaBlocks,
 		CompressSpill:      c.CompressSpill,
+		ReadAhead:          c.ReadAhead,
+		WriteBehind:        c.WriteBehind,
 	}
 	if err := cfg.Validate(); err != nil {
 		return cfg, err

@@ -245,3 +245,91 @@ func TestParallelDifferentialOptions(t *testing.T) {
 		})
 	}
 }
+
+// TestOverlapPipelineConformance is the asynchronous-I/O counterpart of the
+// differential suite: read-ahead and write-behind are wall-clock
+// optimizations below the logical block abstraction, so at every
+// (Parallelism, ReadAhead, WriteBehind) combination the output bytes must
+// be identical and the logical per-category ledger must DeepEqual the
+// synchronous run's. The overlap counters (PrefetchHits/PrefetchWasted/
+// FlushStalls) are projected out — they are the pipeline's own traffic —
+// and the test separately requires that the deep configurations actually
+// engaged the pipeline, so the invariance is never vacuously true.
+func TestOverlapPipelineConformance(t *testing.T) {
+	doc, _, err := chaostest.Doc(300, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := keys.ByAttrOrTag("key")
+	depths := []struct{ ra, wb int }{{1, 0}, {0, 1}, {2, 2}, {8, 8}}
+
+	logical := func(snap map[string]em.IOCount) map[string]em.IOCount {
+		out := make(map[string]em.IOCount, len(snap))
+		for k, c := range snap {
+			out[k] = em.IOCount{
+				Reads: c.Reads, Writes: c.Writes,
+				ReadBytes: c.ReadBytes, WriteBytes: c.WriteBytes,
+				CacheHits: c.CacheHits, CacheMisses: c.CacheMisses,
+			}
+		}
+		return out
+	}
+	overlapTraffic := func(snap map[string]em.IOCount) (hits, waste, stalls int64) {
+		for _, c := range snap {
+			hits += c.PrefetchHits
+			waste += c.PrefetchWasted
+			stalls += c.FlushStalls
+		}
+		return
+	}
+
+	for _, compress := range []bool{false, true} {
+		name := "plain"
+		if compress {
+			name = "compressed"
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, algo := range chaostest.Algorithms {
+				for _, p := range parallelLevels {
+					env := diffEnv(16, p)
+					env.CompressSpill = compress
+					sync := chaostest.Run(doc, crit, chaostest.Trial{Algorithm: algo, Env: env})
+					if sync.PanicValue != nil || sync.Err != nil {
+						t.Fatalf("%v P=%d sync: panic=%v err=%v", algo, p, sync.PanicValue, sync.Err)
+					}
+					if h, w, s := overlapTraffic(sync.Stats.Snapshot()); h+w+s != 0 {
+						t.Fatalf("%v P=%d sync: overlap counters moved with the engine off: hits=%d waste=%d stalls=%d", algo, p, h, w, s)
+					}
+					wantIOs := logical(sync.Stats.Snapshot())
+					for _, d := range depths {
+						env := diffEnv(16, p)
+						env.CompressSpill = compress
+						env.ReadAhead, env.WriteBehind = d.ra, d.wb
+						o := chaostest.Run(doc, crit, chaostest.Trial{Algorithm: algo, Env: env})
+						if o.PanicValue != nil {
+							t.Fatalf("%v P=%d ra=%d wb=%d: panic: %v", algo, p, d.ra, d.wb, o.PanicValue)
+						}
+						if o.Err != nil {
+							t.Fatalf("%v P=%d ra=%d wb=%d: %v", algo, p, d.ra, d.wb, o.Err)
+						}
+						if o.BudgetInUse != 0 || o.FramesLive != 0 {
+							t.Errorf("%v P=%d ra=%d wb=%d: leaked %d budget blocks, %d frames",
+								algo, p, d.ra, d.wb, o.BudgetInUse, o.FramesLive)
+						}
+						if !bytes.Equal(o.Output, sync.Output) {
+							t.Errorf("%v P=%d ra=%d wb=%d: output differs from the synchronous run", algo, p, d.ra, d.wb)
+						}
+						if got := logical(o.Stats.Snapshot()); !reflect.DeepEqual(got, wantIOs) {
+							t.Errorf("%v P=%d ra=%d wb=%d: pipeline moved the logical ledger\nsync:  %v\nasync: %v",
+								algo, p, d.ra, d.wb, wantIOs, got)
+						}
+						hits, _, _ := overlapTraffic(o.Stats.Snapshot())
+						if d.ra > 0 && hits == 0 {
+							t.Errorf("%v P=%d ra=%d wb=%d: read-ahead never produced a consumed prefetch", algo, p, d.ra, d.wb)
+						}
+					}
+				}
+			}
+		})
+	}
+}
