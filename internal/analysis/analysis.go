@@ -1,6 +1,6 @@
 // Package analysis is nexvet's static-analysis substrate: a small,
 // dependency-free counterpart of golang.org/x/tools/go/analysis (which this
-// repo cannot vendor — stdlib only) plus the four project analyzers that
+// repo cannot vendor — stdlib only) plus the project analyzers that
 // turn NEXSORT's runtime invariants into compile-time checks:
 //
 //	NV001 framebalance — every Budget.Grant/AcquireFrames and
@@ -14,6 +14,16 @@
 //	NV005 ctxflow      — library packages neither manufacture root contexts
 //	       (context.Background/TODO) nor store a context.Context in a
 //	       struct field
+//	NV006 goleak       — every goroutine launched by a library package has
+//	       a statically provable join or drain path (WaitGroup pairing,
+//	       close-drained worker, done-channel, producer close, or Pool
+//	       ownership)
+//	NV007 chandisc     — one closer per channel, no send after a reachable
+//	       close, no close of receive-only/nil channels, and bounded
+//	       capacity for the device layer's data queues
+//	NV008 lockguard    — struct fields accessed repeatedly under a sibling
+//	       mutex are inferred guarded; unguarded or atomic-mixed accesses
+//	       are reported
 //
 // Analyzers run in two harnesses (cmd/nexvet): standalone over `go list`
 // metadata, and as a `go vet -vettool` unit checker. Intentional exceptions
@@ -47,7 +57,7 @@ type Analyzer struct {
 
 // All returns the full nexvet suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{FrameBalance, IOPurity, StatsAtomic, DetPtr, CtxFlow}
+	return []*Analyzer{FrameBalance, IOPurity, StatsAtomic, DetPtr, CtxFlow, GoLeak, ChanDisc, LockGuard}
 }
 
 // Pass holds one analyzer's view of one type-checked package.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -38,7 +39,34 @@ type Baseline struct {
 
 // LoadBaseline parses path. A missing file is an empty baseline, not an
 // error, so fresh checkouts and the testdata module need no stub file.
+// "TODO"-prefixed justifications — the placeholders -fix-baseline writes
+// for new findings — are rejected: the gate stays red until a human
+// replaces the placeholder with a real reason.
 func LoadBaseline(path string) (*Baseline, error) {
+	b, err := loadBaseline(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range b.Entries {
+		if strings.HasPrefix(e.Justification, "TODO") {
+			return nil, fmt.Errorf("%s:%d: placeholder justification %q — replace the TODO with the reason the exception is safe",
+				path, e.Line, e.Justification)
+		}
+	}
+	return b, nil
+}
+
+// LoadBaselineLenient parses path accepting TODO-placeholder
+// justifications. It exists for -fix-baseline, which must be able to
+// re-read its own output to converge; every enforcement path goes through
+// the strict LoadBaseline instead.
+func LoadBaselineLenient(path string) (*Baseline, error) {
+	return loadBaseline(path)
+}
+
+// loadBaseline is the lenient parser: format errors are still errors, but
+// TODO placeholders pass, so -fix-baseline can re-read its own output.
+func loadBaseline(path string) (*Baseline, error) {
 	b := &Baseline{Path: path}
 	f, err := os.Open(path)
 	if err != nil {
@@ -123,14 +151,74 @@ func (b *Baseline) Filter(diags []Diagnostic) (kept, suppressed []Diagnostic) {
 // it only after filtering a whole-tree run: a per-package unit-checker
 // invocation legitimately leaves most entries untouched.
 func (b *Baseline) Stale() []string {
+	return b.StaleIn(nil)
+}
+
+// StaleIn is Stale restricted to entries whose code is in codes (nil
+// means every code): a run that executed only a subset of the analyzers
+// can only judge that subset's entries.
+func (b *Baseline) StaleIn(codes map[string]bool) []string {
 	var out []string
 	for _, e := range b.Entries {
+		if codes != nil && !codes[e.Code] {
+			continue
+		}
 		if !e.used {
 			out = append(out, fmt.Sprintf("%s:%d: stale baseline entry %s %s %s (nothing matches it — delete the line)",
 				b.Path, e.Line, e.Code, e.FileSuffix, e.Func))
 		}
 	}
 	return out
+}
+
+// Regenerate builds fresh baseline-file content covering every diagnostic
+// in diags: an entry that already covers a diagnostic keeps its
+// justification verbatim, a new finding gets a "TODO:" placeholder (which
+// LoadBaseline rejects, keeping the gate red until a human justifies it).
+// Entries that no longer match anything are returned as stale — the
+// caller must fail WITHOUT writing, because rewriting would drop their
+// justifications silently; delete the dead lines first, then rerun.
+// relTo makes new entries' file suffixes module-relative.
+func (b *Baseline) Regenerate(diags []Diagnostic, relTo string) (content string, stale []string) {
+	type key struct{ code, file, fn string }
+	seen := map[key]bool{}
+	var lines []string
+	for _, d := range diags {
+		file := filepath.ToSlash(d.Pos.Filename)
+		if r, err := filepath.Rel(relTo, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			file = filepath.ToSlash(r)
+		}
+		fn := d.Func
+		if fn == "" {
+			fn = "-"
+		}
+		k := key{d.Code, file, fn}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		justification := "TODO: justify this exception or fix the finding"
+		for _, e := range b.Entries {
+			if e.matches(d) {
+				justification = e.Justification
+				e.used = true
+				break
+			}
+		}
+		lines = append(lines, fmt.Sprintf("%s %s %s -- %s", d.Code, file, fn, justification))
+	}
+	stale = b.Stale()
+	sort.Strings(lines)
+	var sb strings.Builder
+	sb.WriteString("# nexvet baseline: intentional exceptions to the NV invariants.\n")
+	sb.WriteString("# Format:  CODE file-suffix funcName -- justification\n")
+	sb.WriteString("# Regenerated by `nexvet -fix-baseline ./...`; replace every TODO with\n")
+	sb.WriteString("# the reason the invariant still holds, or fix the finding instead.\n\n")
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteString("\n")
+	}
+	return sb.String(), stale
 }
 
 // FindBaseline walks up from dir looking for internal/analysis/baseline.txt

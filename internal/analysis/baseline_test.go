@@ -107,6 +107,65 @@ func TestBaselineStale(t *testing.T) {
 	}
 }
 
+func TestBaselineRejectsTODOPlaceholder(t *testing.T) {
+	content := "NV006 internal/em/async.go flushLoop -- TODO: justify this exception or fix the finding\n"
+	if _, err := LoadBaseline(writeBaseline(t, content)); err == nil ||
+		!strings.Contains(err.Error(), "placeholder") {
+		t.Fatalf("strict load must reject TODO placeholders, got err=%v", err)
+	}
+	b, err := LoadBaselineLenient(writeBaseline(t, content))
+	if err != nil || len(b.Entries) != 1 {
+		t.Fatalf("lenient load must accept TODO placeholders: %v, %d entries", err, len(b.Entries))
+	}
+}
+
+func TestBaselineRegenerate(t *testing.T) {
+	b, err := LoadBaselineLenient(writeBaseline(t,
+		"NV004 internal/em/stats.go String -- keys are sorted before rendering\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := []Diagnostic{
+		diagAt("NV004", "/checkout/internal/em/stats.go", "String"), // existing entry
+		diagAt("NV006", "/checkout/internal/em/async.go", "start"),  // new finding
+		diagAt("NV006", "/checkout/internal/em/async.go", "start"),  // duplicate position, one line
+	}
+	content, stale := b.Regenerate(diags, "/checkout")
+	if len(stale) != 0 {
+		t.Fatalf("no entry is stale, got %v", stale)
+	}
+	if !strings.Contains(content, "NV004 internal/em/stats.go String -- keys are sorted before rendering") {
+		t.Errorf("existing justification not preserved verbatim:\n%s", content)
+	}
+	if !strings.Contains(content, "NV006 internal/em/async.go start -- TODO: justify this exception or fix the finding") {
+		t.Errorf("new finding lacks a TODO placeholder:\n%s", content)
+	}
+	if n := strings.Count(content, "NV006 internal/em/async.go start"); n != 1 {
+		t.Errorf("duplicate diagnostics must collapse to one entry, got %d", n)
+	}
+	// The regenerated content must be loadable leniently (the TODO) but
+	// rejected strictly — the gate stays red until a human edits it.
+	path := writeBaseline(t, content)
+	if _, err := LoadBaselineLenient(path); err != nil {
+		t.Errorf("regenerated baseline does not re-parse: %v", err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Error("strict load accepted the regenerated TODO placeholder")
+	}
+}
+
+func TestBaselineRegenerateReportsStale(t *testing.T) {
+	b, err := LoadBaselineLenient(writeBaseline(t,
+		"NV004 internal/em/stats.go String -- sorted\nNV001 internal/gone.go dead -- obsolete\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stale := b.Regenerate([]Diagnostic{diagAt("NV004", "internal/em/stats.go", "String")}, "")
+	if len(stale) != 1 || !strings.Contains(stale[0], "internal/gone.go") {
+		t.Fatalf("want one stale entry naming internal/gone.go, got %v", stale)
+	}
+}
+
 func TestFindBaselineFromRepo(t *testing.T) {
 	// The analysis package sits two levels below the module root, which
 	// carries internal/analysis/baseline.txt.

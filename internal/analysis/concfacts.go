@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the shared concurrency fact layer beneath the NV006-NV008
+// analyzers (and the spawned-closure reasoning of NV001v2): one pass over a
+// package that indexes every goroutine launch, channel operation, and
+// WaitGroup call by the *types.Object it touches. Field objects give the
+// index cross-function identity — `e.writeq` in submitWrite and
+// `e.writeq` in shutdown resolve to the same *types.Var — which is what
+// lets goleak prove "this worker drains a channel that shutdown closes"
+// without whole-program analysis.
+
+// goSite is one `go` statement together with the function that launched it.
+type goSite struct {
+	stmt         *ast.GoStmt
+	launcherBody *ast.BlockStmt
+}
+
+// concFacts is the per-package concurrency index.
+type concFacts struct {
+	pass *Pass
+
+	// Channel operations, keyed by the referenced object (field var for
+	// selector chains, local/package var for idents).
+	chanClose map[types.Object][]*ast.CallExpr
+	chanRange map[types.Object][]token.Pos
+	chanRecv  map[types.Object][]token.Pos
+	chanSend  map[types.Object][]token.Pos
+
+	// WaitGroup calls by WaitGroup object.
+	wgAdd  map[types.Object][]token.Pos
+	wgDone map[types.Object][]token.Pos
+	wgWait map[types.Object][]token.Pos
+
+	// Function and method declarations by their *types.Func, for resolving
+	// the body behind `go f()` / `go x.m()`.
+	funcDecls map[types.Object]*ast.FuncDecl
+
+	gos []goSite
+}
+
+// gatherConcFacts builds the index for pass's package.
+func gatherConcFacts(pass *Pass) *concFacts {
+	f := &concFacts{
+		pass:      pass,
+		chanClose: map[types.Object][]*ast.CallExpr{},
+		chanRange: map[types.Object][]token.Pos{},
+		chanRecv:  map[types.Object][]token.Pos{},
+		chanSend:  map[types.Object][]token.Pos{},
+		wgAdd:     map[types.Object][]token.Pos{},
+		wgDone:    map[types.Object][]token.Pos{},
+		wgWait:    map[types.Object][]token.Pos{},
+		funcDecls: map[types.Object]*ast.FuncDecl{},
+		gos:       nil,
+	}
+	for _, file := range pass.Files {
+		// A node stack tracks the innermost enclosing function for go sites.
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if obj := pass.Info.Defs[x.Name]; obj != nil {
+					f.funcDecls[obj] = x
+				}
+			case *ast.GoStmt:
+				f.gos = append(f.gos, goSite{stmt: x, launcherBody: enclosingBody(stack)})
+			case *ast.CallExpr:
+				f.recordCall(x)
+			case *ast.SendStmt:
+				if obj := pass.refObj(x.Chan); obj != nil {
+					f.chanSend[obj] = append(f.chanSend[obj], x.Pos())
+				}
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					if obj := pass.refObj(x.X); obj != nil {
+						f.chanRecv[obj] = append(f.chanRecv[obj], x.Pos())
+					}
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pass.Info.Types[x.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						if obj := pass.refObj(x.X); obj != nil {
+							f.chanRange[obj] = append(f.chanRange[obj], x.Pos())
+						}
+					}
+				}
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return f
+}
+
+// recordCall indexes close(ch) and WaitGroup Add/Done/Wait calls.
+func (f *concFacts) recordCall(call *ast.CallExpr) {
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+		if _, isBuiltin := f.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			if obj := f.pass.refObj(call.Args[0]); obj != nil {
+				f.chanClose[obj] = append(f.chanClose[obj], call)
+			}
+		}
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	if name != "Add" && name != "Done" && name != "Wait" {
+		return
+	}
+	recv, ok := f.pass.Info.Types[sel.X]
+	if !ok || !isSyncType(recv.Type, "WaitGroup") {
+		return
+	}
+	obj := f.pass.refObj(sel.X)
+	if obj == nil {
+		return
+	}
+	switch name {
+	case "Add":
+		f.wgAdd[obj] = append(f.wgAdd[obj], call.Pos())
+	case "Done":
+		f.wgDone[obj] = append(f.wgDone[obj], call.Pos())
+	case "Wait":
+		f.wgWait[obj] = append(f.wgWait[obj], call.Pos())
+	}
+}
+
+// goBody resolves the statement body a `go` statement runs: a function
+// literal's own body, or the same-package declaration behind `go f()` /
+// `go x.m()`. ok is false for calls whose body is out of reach (another
+// package, an interface method, a func-valued field).
+func (f *concFacts) goBody(g *ast.GoStmt) (*ast.BlockStmt, bool) {
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body, true
+	case *ast.Ident:
+		if decl, ok := f.funcDecls[f.pass.Info.Uses[fun]]; ok && decl.Body != nil {
+			return decl.Body, true
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := f.pass.Info.Uses[fun.Sel]; ok {
+			if decl, ok := f.funcDecls[obj]; ok && decl.Body != nil {
+				return decl.Body, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// refObj resolves the object a channel/WaitGroup/mutex expression names:
+// the field var for selector chains (stable across functions within the
+// package), the variable object for plain identifiers.
+func (p *Pass) refObj(e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return p.Info.Uses[x]
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[x]; ok {
+			return sel.Obj()
+		}
+		return p.Info.Uses[x.Sel] // package-qualified var
+	}
+	return nil
+}
+
+// isSyncType reports whether t (or its pointee) is the named sync type
+// (e.g. "WaitGroup", "Mutex", "RWMutex").
+func isSyncType(t types.Type, name string) bool {
+	named := namedOrPointee(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// isSyncFamilyType reports whether t is declared in sync or sync/atomic —
+// synchronization primitives are not data fields for guard inference.
+func isSyncFamilyType(t types.Type) bool {
+	named := namedOrPointee(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "sync" || path == "sync/atomic"
+}
+
+// enclosingBody returns the body of the innermost function node on stack.
+func enclosingBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// forEachFuncUnit visits every function body in the package — declarations
+// and function literals alike — each as its own analysis unit.
+func forEachFuncUnit(pass *Pass, visit func(body *ast.BlockStmt)) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					visit(fn.Body)
+				}
+			case *ast.FuncLit:
+				visit(fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// containsPos reports whether pos falls inside node's source range.
+func containsPos(node ast.Node, pos token.Pos) bool {
+	return node != nil && pos >= node.Pos() && pos <= node.End()
+}

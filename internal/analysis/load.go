@@ -66,7 +66,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.Standard && !p.DepOnly {
+		if !p.Standard && !p.DepOnly && !skipListedPackage(&p) {
 			pkg := p
 			targets = append(targets, &pkg)
 		}
@@ -83,6 +83,26 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// skipListedPackage reports whether p is support material rather than an
+// analysis target: testdata trees and vendored copies can be swept up by
+// explicit patterns but must never be analyzed — their code is someone
+// else's (vendor) or deliberately wrong (testdata fixtures). The segments
+// are judged below the module root, so a module that IS a testdata
+// fixture (the golden suites' nexvet.example) still analyzes its own
+// packages.
+func skipListedPackage(p *listedPackage) bool {
+	rel := p.Dir
+	if p.Module != nil && p.Module.Dir != "" && strings.HasPrefix(p.Dir, p.Module.Dir) {
+		rel = strings.TrimPrefix(p.Dir, p.Module.Dir)
+	}
+	for _, seg := range strings.Split(strings.ReplaceAll(rel, "\\", "/"), "/") {
+		if seg == "testdata" || seg == "vendor" {
+			return true
+		}
+	}
+	return false
 }
 
 // exportImporter returns a types.Importer resolving import paths through

@@ -1,0 +1,75 @@
+// Package chans exercises chandisc (NV007): one closer per channel, and
+// no send after a reachable close on any intra-function path. Deferred
+// closes, terminated branches, and reassignments are recognized as safe.
+package chans
+
+// --- positives ---
+
+// two statically identified closers: ownership is ambiguous.
+type owner struct {
+	ch chan int
+}
+
+func (o *owner) closeA() { close(o.ch) }
+func (o *owner) closeB() { close(o.ch) } // want "more than one statically identified closer"
+
+// straight-line send after close panics.
+func sendAfterClose(ch chan int) {
+	close(ch)
+	ch <- 1 // want "after it was closed on this path"
+}
+
+// the close is loop-carried: iteration N closes, iteration N+1 sends.
+func loopClose(ch chan int, n int) {
+	for i := 0; i < n; i++ {
+		ch <- i // want "after it was closed on this path"
+		if i == 0 {
+			close(ch)
+		}
+	}
+}
+
+// a select arm can still try the dead channel.
+func selectAfterClose(ch chan int) {
+	close(ch)
+	select {
+	case ch <- 1: // want "after it was closed on this path"
+	default:
+	}
+}
+
+// --- negatives ---
+
+// the closing branch terminates, so the send is unreachable after it.
+func branchClose(ch chan int, done bool) {
+	if done {
+		close(ch)
+		return
+	}
+	ch <- 1
+}
+
+// a deferred close runs at exit, after every send in the body.
+func deferredClose(ch chan int) {
+	defer close(ch)
+	ch <- 1
+}
+
+// reassignment revives the chain: the send targets a fresh channel.
+func reassign(n int) {
+	ch := make(chan int, n)
+	close(ch)
+	ch = make(chan int, n)
+	ch <- 1
+}
+
+// quit-style select: sends and the drain signal never cross.
+func pump(ch chan int, quit chan struct{}) {
+	for {
+		select {
+		case ch <- 1:
+		case <-quit:
+			return
+		}
+	}
+}

@@ -60,6 +60,15 @@ func (b *Budget) ReleaseFrames(fs []Frame) {
 
 func (b *Budget) Frames() *FramePool { return b.pool }
 
+// Pool is the bounded worker-admission semaphore: a goroutine that
+// releases a slot ties its lifetime to the pool.
+type Pool struct {
+	slots chan struct{}
+}
+
+func (p *Pool) TryAcquire() bool { return true }
+func (p *Pool) Release()         {}
+
 // Backend is the positional-I/O substrate beneath the Device.
 type Backend interface {
 	ReadAt(p []byte, off int64) (int, error)

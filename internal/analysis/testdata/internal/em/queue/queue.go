@@ -1,0 +1,16 @@
+// Package queue exercises chandisc's bounded-capacity rule: under the
+// device layer (.../internal/em/...), data channels must be made with an
+// explicit capacity so the depth grant — not the scheduler — is the
+// memory bound. Signal channels (chan struct{}) are exempt.
+package queue
+
+type req struct {
+	id int64
+}
+
+func newQueues(depth int) (chan req, chan req, chan struct{}) {
+	bad := make(chan req) // want "unbuffered data channel in the device layer"
+	good := make(chan req, depth)
+	done := make(chan struct{})
+	return bad, good, done
+}

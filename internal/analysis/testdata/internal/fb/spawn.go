@@ -1,0 +1,72 @@
+// Spawn cases for NV001v2: a `go` launch is a new owner whose body is
+// sub-analyzed path-sensitively, not a blanket discharge. The worker must
+// release (or visibly hand off) the obligation on every one of ITS paths;
+// merely mentioning the resource no longer settles the launcher's books.
+package fb
+
+import "nexvet.example/internal/em"
+
+// --- positives ---
+
+// the worker releases on one path but leaks on the other; under the old
+// blanket scan the mention alone would have discharged the acquisition.
+func spawnPartialRelease(p *em.FramePool, cond bool) {
+	f := p.Acquire() // want "can reach the return"
+	go func() {
+		if !cond {
+			return // leaks f on this path
+		}
+		p.Release(f)
+	}()
+}
+
+// the worker touches the budget's owner but never releases the grant.
+func spawnBudgetLeak(b *em.Budget) {
+	b.MustGrant(4) // want "can reach the return"
+	go func() {
+		_ = b.Frames()
+	}()
+}
+
+// a named same-package worker that leaks is tracked through the launch.
+func spawnNamedLeak(b *em.Budget) {
+	b.MustGrant(2) // want "can reach the return"
+	go graze(b)
+}
+
+func graze(b *em.Budget) {
+	_ = b.Frames()
+}
+
+// --- negatives ---
+
+// frame handed to the worker as an argument, released on its one path:
+// the parameter binding carries the obligation across the boundary.
+func spawnArgRelease(p *em.FramePool) {
+	f := p.Acquire()
+	go func(fr em.Frame) {
+		defer p.Release(fr)
+	}(f)
+}
+
+// named same-package worker that releases: resolved interprocedurally.
+func spawnNamed(p *em.FramePool) {
+	f := p.Acquire()
+	go settle(p, f)
+}
+
+func settle(p *em.FramePool, f em.Frame) {
+	p.Release(f)
+}
+
+// the worker releases on every path, including the early return.
+func spawnAllPaths(b *em.Budget, cond bool) {
+	b.MustGrant(1)
+	go func() {
+		if cond {
+			b.Release(1)
+			return
+		}
+		b.Release(1)
+	}()
+}

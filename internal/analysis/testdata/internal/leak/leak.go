@@ -1,0 +1,130 @@
+// Package leak exercises goleak (NV006): every goroutine launch needs a
+// statically provable join or drain path — WaitGroup pairing, a
+// close-drained worker loop, a done-channel receive, a producer close
+// observed by an outside consumer, or em.Pool slot ownership. Launches
+// with none of these, Add/Done imbalances, and unresolvable bodies are
+// flagged.
+package leak
+
+import (
+	"sync"
+
+	"nexvet.example/internal/em"
+)
+
+// --- positives ---
+
+// fire-and-forget: nothing joins or drains the worker.
+func fireAndForget(work []int) {
+	go func() { // want "fire-and-forget goroutine"
+		for range work {
+		}
+	}()
+}
+
+// the Add inside the goroutine races the Wait: classic imbalance.
+func addInsideWorker() {
+	var wg sync.WaitGroup
+	go func() { // want "Add/Done imbalance"
+		wg.Add(1)
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// Add/Done pair up but nothing ever Waits.
+func noWait() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "nothing in the package Waits"
+		defer wg.Done()
+	}()
+}
+
+// the launcher Adds but the worker never calls Done: Wait hangs forever.
+func addNoDone(work []int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want "never calls Done"
+		for range work {
+		}
+	}()
+	wg.Wait()
+}
+
+// a func-valued parameter has no statically reachable body.
+func launchUnknown(fn func()) {
+	go fn() // want "not statically resolvable"
+}
+
+// --- negatives: each recognized lifecycle idiom ---
+
+// WaitGroup pairing: Add before launch, deferred Done inside, Wait after.
+func pooled(work []int) {
+	var wg sync.WaitGroup
+	for range work {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// close-drains-the-worker: the loop ranges a channel stop closes.
+type engine struct {
+	jobs chan int
+	quit chan struct{}
+}
+
+func (e *engine) start() {
+	go e.loop()
+}
+
+func (e *engine) loop() {
+	for range e.jobs {
+	}
+}
+
+func (e *engine) stop() {
+	close(e.jobs)
+}
+
+// done-channel receive: the worker blocks on a channel shutdown closes.
+func (e *engine) watch() {
+	go func() {
+		<-e.quit
+	}()
+}
+
+func (e *engine) shutdown() {
+	close(e.quit)
+}
+
+// producer close: the worker closes the channel the consumer drains, so
+// the consumer observes its termination.
+type feed struct {
+	out chan int
+}
+
+func (f *feed) begin() {
+	go func() {
+		defer close(f.out)
+		f.out <- 1
+	}()
+}
+
+func (f *feed) consume() int {
+	s := 0
+	for v := range f.out {
+		s += v
+	}
+	return s
+}
+
+// pool ownership: the worker's lifetime rides the em.Pool slot it releases.
+func pooledWorker(p *em.Pool) {
+	go func() {
+		defer p.Release()
+	}()
+}

@@ -1,0 +1,7 @@
+// Package main may fire and forget: the process lifetime is the join, so
+// goleak must stay silent here.
+package main
+
+func main() {
+	go func() {}()
+}

@@ -1,0 +1,132 @@
+// Package locks exercises lockguard (NV008): a field accessed at least
+// twice under a sibling mutex in its defining package is inferred
+// guarded, and every other access must hold the same mutex. Constructor
+// bodies, *Locked-suffix functions, and sub-threshold fields are exempt;
+// mixing sync/atomic with mutex-guarded plain access is its own finding.
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// --- inferred guard, unlocked access flagged ---
+
+type counter struct {
+	mu   sync.Mutex
+	hits int
+}
+
+func (c *counter) incr() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+func (c *counter) peek() int {
+	return c.hits // want "guarded by `mu`"
+}
+
+// the constructor touches the field before publication: exempt.
+func newCounter(start int) *counter {
+	c := &counter{}
+	c.hits = start
+	return c
+}
+
+// the Locked suffix documents that the caller holds mu: exempt.
+func (c *counter) bumpLocked() {
+	c.hits += 2
+}
+
+// --- RWMutex: readers hold at least the read lock ---
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func (t *table) put(k string, v int) {
+	t.mu.Lock()
+	t.m[k] = v
+	t.mu.Unlock()
+}
+
+func (t *table) get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+func (t *table) size() int {
+	return len(t.m) // want "guarded by `mu`"
+}
+
+// --- wrong lock held ---
+
+type twin struct {
+	muA sync.Mutex
+	muB sync.Mutex
+	n   int
+}
+
+func (t *twin) good() {
+	t.muA.Lock()
+	t.n++
+	t.muA.Unlock()
+	t.muA.Lock()
+	t.n--
+	t.muA.Unlock()
+}
+
+func (t *twin) bad() {
+	t.muB.Lock()
+	t.n = 0 // want "holds `muB` instead"
+	t.muB.Unlock()
+}
+
+// --- atomic/mutex mix ---
+
+type gauge struct {
+	mu  sync.Mutex
+	val int64
+}
+
+func (g *gauge) set(v int64) {
+	g.mu.Lock()
+	g.val = v
+	g.mu.Unlock()
+}
+
+func (g *gauge) bump() {
+	g.mu.Lock()
+	g.val++
+	g.mu.Unlock()
+}
+
+func (g *gauge) load() int64 {
+	return atomic.LoadInt64(&g.val) // want "mixes sync/atomic access"
+}
+
+// --- below threshold: one locked access establishes nothing ---
+
+type loose struct {
+	mu sync.Mutex
+	x  int
+}
+
+func (l *loose) touch() {
+	l.mu.Lock()
+	l.x++
+	l.mu.Unlock()
+}
+
+func (l *loose) read() int {
+	return l.x
+}

@@ -43,13 +43,20 @@ type vetConfig struct {
 // hash for the tool, so it embeds a digest of the executable: rebuilds
 // with changed analyzers invalidate the driver's vet cache.
 func PrintVersion(w io.Writer, progname string) {
+	exe, _ := os.Executable()
+	fmt.Fprintln(w, VersionLine(progname, exe))
+}
+
+// VersionLine builds the -V=full response for the tool binary at exePath.
+// Because the digest covers the executable's bytes, any analyzer source
+// change that reaches the binary yields a different line — which is
+// exactly what makes the driver's stale-cache invalidation work.
+func VersionLine(progname, exePath string) string {
 	digest := "unknown"
-	if exe, err := os.Executable(); err == nil {
-		if data, err := os.ReadFile(exe); err == nil {
-			digest = fmt.Sprintf("%x", sha256.Sum256(data))[:24]
-		}
+	if data, err := os.ReadFile(exePath); err == nil {
+		digest = fmt.Sprintf("%x", sha256.Sum256(data))[:24]
 	}
-	fmt.Fprintf(w, "%s version devel buildID=%s\n", progname, digest)
+	return fmt.Sprintf("%s version devel buildID=%s", progname, digest)
 }
 
 // PrintFlags implements -flags: nexvet exposes no analyzer-selection

@@ -193,7 +193,7 @@ func (e *asyncEngine) completePending(id int64, failed bool) {
 // the flusher can recycle the source frame, so the caller never observes
 // torn or reused bytes.
 func (e *asyncEngine) lookupPending(id int64, dst []byte) bool {
-	if e == nil || e.pending == nil {
+	if e == nil || e.writeBehind == 0 {
 		return false
 	}
 	e.pendMu.Lock()

@@ -104,9 +104,9 @@ func (b *ChaosBackend) Injected() map[string]int64 {
 	return out
 }
 
-// fire rolls the dice for one fault kind, honoring the consecutive cap for
-// recoverable kinds. Callers must hold b.mu.
-func (b *ChaosBackend) fire(prob float64, kind string, recoverable bool) bool {
+// fireLocked rolls the dice for one fault kind, honoring the consecutive cap
+// for recoverable kinds. Callers must hold b.mu.
+func (b *ChaosBackend) fireLocked(prob float64, kind string, recoverable bool) bool {
 	if prob <= 0 {
 		return false
 	}
@@ -128,11 +128,11 @@ func (b *ChaosBackend) ReadAt(p []byte, off int64) (int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch {
-	case b.fire(b.cfg.ReadPermanentProb, "read-permanent", false):
+	case b.fireLocked(b.cfg.ReadPermanentProb, "read-permanent", false):
 		return 0, fmt.Errorf("read at %d: %w", off, ErrChaosPermanent)
-	case b.fire(b.cfg.ReadTransientProb, "read-transient", true):
+	case b.fireLocked(b.cfg.ReadTransientProb, "read-transient", true):
 		return 0, MarkTransient(fmt.Errorf("injected read stall at %d", off))
-	case b.fire(b.cfg.ReadBitFlipProb, "read-bitflip", true):
+	case b.fireLocked(b.cfg.ReadBitFlipProb, "read-bitflip", true):
 		n, err := b.inner.ReadAt(p, off)
 		if err == nil && len(p) > 0 {
 			bit := b.rng.Intn(len(p) * 8)
@@ -149,11 +149,11 @@ func (b *ChaosBackend) WriteAt(p []byte, off int64) (int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch {
-	case b.fire(b.cfg.WritePermanentProb, "write-permanent", false):
+	case b.fireLocked(b.cfg.WritePermanentProb, "write-permanent", false):
 		return 0, fmt.Errorf("write at %d: %w", off, ErrChaosPermanent)
-	case b.fire(b.cfg.WriteTransientProb, "write-transient", true):
+	case b.fireLocked(b.cfg.WriteTransientProb, "write-transient", true):
 		return 0, MarkTransient(fmt.Errorf("injected write stall at %d", off))
-	case b.fire(b.cfg.WriteBitFlipProb, "write-bitflip", false):
+	case b.fireLocked(b.cfg.WriteBitFlipProb, "write-bitflip", false):
 		if len(p) == 0 {
 			return b.inner.WriteAt(p, off)
 		}
@@ -162,13 +162,13 @@ func (b *ChaosBackend) WriteAt(p []byte, off int64) (int, error) {
 		bit := b.rng.Intn(len(flipped) * 8)
 		flipped[bit/8] ^= 1 << uint(bit%8)
 		return b.inner.WriteAt(flipped, off)
-	case b.fire(b.cfg.TornWriteProb, "torn-write", false):
+	case b.fireLocked(b.cfg.TornWriteProb, "torn-write", false):
 		n := b.rng.Intn(len(p) + 1)
 		if _, err := b.inner.WriteAt(p[:n], off); err != nil {
 			return 0, err
 		}
 		return len(p), nil // silent: reports full success
-	case b.fire(b.cfg.ShortWriteProb, "short-write", true):
+	case b.fireLocked(b.cfg.ShortWriteProb, "short-write", true):
 		n := b.rng.Intn(len(p) + 1)
 		if m, err := b.inner.WriteAt(p[:n], off); err != nil {
 			return m, err
