@@ -65,6 +65,28 @@ type Config struct {
 	// submitter's next touch point with the usual typed taxonomy.
 	WriteBehind int
 
+	// MergeParallel, when positive, runs the external merge sort's final
+	// merge as up to that many independent loser trees over disjoint key
+	// ranges, dispatched on the worker pool, each writing its own segment
+	// of the output stream (DESIGN.md §17). Partition boundaries come from
+	// the per-run fence-key indexes (see FenceIndex), and splitters are
+	// chosen so that all records with equal keys land in one partition —
+	// which preserves the serial loser tree's run-index tie-break and makes
+	// the concatenated output byte-identical to the serial merge. The
+	// logical I/O ledger is invariant in this knob: every run block is
+	// still read exactly once and every output block written exactly once,
+	// at every partition count. 0 (the default) keeps the final merge on a
+	// single loser tree. Setting this implies FenceIndex.
+	MergeParallel int
+	// FenceIndex, when true, makes run formation emit a fence-key sparse
+	// index per run — the first normalized key of every run block, spilled
+	// as a tiny side stream (CatFenceIndex) through the same hardened
+	// backend stack as the runs. The index is what lets a merge partition
+	// runs by key range without scanning them; MergeParallel turns it on
+	// implicitly. Index I/O is charged to its own category and never to
+	// the run categories, so the paper-model counts are unchanged.
+	FenceIndex bool
+
 	// ScratchQuotaBlocks, when positive, caps the scratch device at that
 	// many blocks: a CapacityBackend under the hardening layers refuses
 	// writes past the quota with the typed ErrScratchExhausted, and the
@@ -127,6 +149,9 @@ func (c Config) Validate() error {
 	}
 	if c.WriteBehind < 0 {
 		return fmt.Errorf("em: negative write-behind %d blocks", c.WriteBehind)
+	}
+	if c.MergeParallel < 0 {
+		return fmt.Errorf("em: negative merge parallelism %d", c.MergeParallel)
 	}
 	if c.CacheBlocks > 0 && c.MemBlocks-c.CacheBlocks < 5 {
 		return fmt.Errorf("em: cache %d blocks leaves %d of %d for sorting (min 5)",

@@ -53,6 +53,13 @@ type Stats struct {
 	prefHit   [numCategories]atomic.Int64
 	prefWaste [numCategories]atomic.Int64
 	flushStal [numCategories]atomic.Int64
+	// Partitioned-merge counters (DESIGN.md §17). They describe the
+	// range-partitioned final merge — how many merges took the partitioned
+	// path and how many fence-key samples fed splitter selection — and are
+	// never folded into the logical Reads/Writes ledger: a partitioned
+	// merge moves exactly the blocks the serial loser tree would.
+	pmerges   [numCategories]atomic.Int64
+	splitSamp [numCategories]atomic.Int64
 }
 
 // NewStats returns an empty Stats.
@@ -136,6 +143,17 @@ func (s *Stats) AddPrefetchWasted(c Category, n int64) { s.prefWaste[c].Add(n) }
 // pipeline depth was the bottleneck; the write itself is charged once, by
 // the flusher, when it executes.
 func (s *Stats) AddFlushStalls(c Category, n int64) { s.flushStal[c].Add(n) }
+
+// AddPartitionedMerges records n merges that ran as range-partitioned
+// loser-tree fans under category c. Charged once per merge, never per
+// partition, so the counter is invariant in Config.MergeParallel.
+func (s *Stats) AddPartitionedMerges(c Category, n int64) { s.pmerges[c].Add(n) }
+
+// AddSplitterSamples records n fence-key samples fed into splitter
+// selection under category c. Every partitioned merge reads every input
+// run's full fence index regardless of the partition count, so this too is
+// invariant in Config.MergeParallel.
+func (s *Stats) AddSplitterSamples(c Category, n int64) { s.splitSamp[c].Add(n) }
 
 // Reads returns the number of block reads recorded under category c.
 func (s *Stats) Reads(c Category) int64 { return s.reads[c].Load() }
@@ -314,6 +332,34 @@ func (s *Stats) TotalFlushStalls() int64 {
 	return t
 }
 
+// PartitionedMerges returns the range-partitioned merges recorded under
+// category c.
+func (s *Stats) PartitionedMerges(c Category) int64 { return s.pmerges[c].Load() }
+
+// SplitterSamples returns the fence-key splitter samples recorded under
+// category c.
+func (s *Stats) SplitterSamples(c Category) int64 { return s.splitSamp[c].Load() }
+
+// TotalPartitionedMerges returns range-partitioned merges across all
+// categories.
+func (s *Stats) TotalPartitionedMerges() int64 {
+	var t int64
+	for i := range s.pmerges {
+		t += s.pmerges[i].Load()
+	}
+	return t
+}
+
+// TotalSplitterSamples returns fence-key splitter samples across all
+// categories.
+func (s *Stats) TotalSplitterSamples() int64 {
+	var t int64
+	for i := range s.splitSamp {
+		t += s.splitSamp[i].Load()
+	}
+	return t
+}
+
 // CacheHits returns the cache hits recorded under category c.
 func (s *Stats) CacheHits(c Category) int64 { return s.cacheHit[c].Load() }
 
@@ -358,6 +404,8 @@ func (s *Stats) Reset() {
 		s.prefHit[i].Store(0)
 		s.prefWaste[i].Store(0)
 		s.flushStal[i].Store(0)
+		s.pmerges[i].Store(0)
+		s.splitSamp[i].Store(0)
 	}
 }
 
@@ -367,23 +415,25 @@ func (s *Stats) Snapshot() map[string]IOCount {
 	out := make(map[string]IOCount)
 	for i := 0; i < int(numCategories); i++ {
 		c := IOCount{
-			Reads:            s.reads[i].Load(),
-			Writes:           s.writes[i].Load(),
-			ReadBytes:        s.readB[i].Load(),
-			WriteBytes:       s.writeB[i].Load(),
-			PhysReads:        s.physR[i].Load(),
-			PhysWrites:       s.physW[i].Load(),
-			PhysReadBytes:    s.physRB[i].Load(),
-			PhysWriteBytes:   s.physWB[i].Load(),
-			Retries:          s.retries[i].Load(),
-			ChecksumFailures: s.ckFails[i].Load(),
-			CacheHits:        s.cacheHit[i].Load(),
-			CacheMisses:      s.cacheMis[i].Load(),
-			Canceled:         s.canceled[i].Load(),
-			Exhausted:        s.exhaust[i].Load(),
-			PrefetchHits:     s.prefHit[i].Load(),
-			PrefetchWasted:   s.prefWaste[i].Load(),
-			FlushStalls:      s.flushStal[i].Load(),
+			Reads:             s.reads[i].Load(),
+			Writes:            s.writes[i].Load(),
+			ReadBytes:         s.readB[i].Load(),
+			WriteBytes:        s.writeB[i].Load(),
+			PhysReads:         s.physR[i].Load(),
+			PhysWrites:        s.physW[i].Load(),
+			PhysReadBytes:     s.physRB[i].Load(),
+			PhysWriteBytes:    s.physWB[i].Load(),
+			Retries:           s.retries[i].Load(),
+			ChecksumFailures:  s.ckFails[i].Load(),
+			CacheHits:         s.cacheHit[i].Load(),
+			CacheMisses:       s.cacheMis[i].Load(),
+			Canceled:          s.canceled[i].Load(),
+			Exhausted:         s.exhaust[i].Load(),
+			PrefetchHits:      s.prefHit[i].Load(),
+			PrefetchWasted:    s.prefWaste[i].Load(),
+			FlushStalls:       s.flushStal[i].Load(),
+			PartitionedMerges: s.pmerges[i].Load(),
+			SplitterSamples:   s.splitSamp[i].Load(),
 		}
 		if c == (IOCount{}) {
 			continue
@@ -442,6 +492,15 @@ type IOCount struct {
 	// FlushStalls counts write-behind submissions that waited on a full
 	// flush queue. Zero unless Config.WriteBehind > 0.
 	FlushStalls int64
+	// PartitionedMerges counts merges that ran as range-partitioned
+	// loser-tree fans (one per merge, not per partition); never a block
+	// transfer. Zero unless Config.MergeParallel > 0.
+	PartitionedMerges int64
+	// SplitterSamples counts fence-key samples fed into splitter
+	// selection; invariant in the partition count because every
+	// partitioned merge reads every input fence index in full. Zero
+	// unless Config.MergeParallel > 0.
+	SplitterSamples int64
 }
 
 // Total returns reads+writes.
@@ -479,6 +538,9 @@ func (s *Stats) String() string {
 		}
 		if c.FlushStalls > 0 {
 			fmt.Fprintf(&b, " stall=%d", c.FlushStalls)
+		}
+		if c.PartitionedMerges > 0 || c.SplitterSamples > 0 {
+			fmt.Fprintf(&b, " pmerge=%d samp=%d", c.PartitionedMerges, c.SplitterSamples)
 		}
 		if c.Canceled > 0 {
 			fmt.Fprintf(&b, " canceled=%d", c.Canceled)

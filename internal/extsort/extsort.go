@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"nexsort/internal/em"
+	"nexsort/internal/fence"
 	"nexsort/internal/sortkey"
 )
 
@@ -78,16 +79,23 @@ type Sorter struct {
 	memBlocks int
 	bufLimit  int // record bytes buffered before a run is cut
 
+	// fenceOn mirrors Config.FenceIndex/MergeParallel, forced off without
+	// a keyer (no normalized keys means no byte-comparable fences);
+	// mergeParallel mirrors Config.MergeParallel.
+	fenceOn       bool
+	mergeParallel int
+
 	entries  []entry
 	keyBuf   []byte    // reused normalized-key scratch for Add
 	arena    *recArena // frame-backed storage behind entry records
 	bufBytes int
 	runs     []*em.Stream
 
-	// Worker bookkeeping. mu guards runs slot assignment, firstErr and
-	// panicVal against the pool workers; wg tracks in-flight batches.
+	// Worker bookkeeping. mu guards runs slot assignment, fences, firstErr
+	// and panicVal against the pool workers; wg tracks in-flight batches.
 	mu       sync.Mutex
 	wg       sync.WaitGroup
+	fences   map[*em.Stream]*em.Stream // run → its fence-key index stream
 	firstErr error
 	panicVal any
 
@@ -138,13 +146,16 @@ func NewKernel(env *em.Env, cat em.Category, k sortkey.Kernel, memBlocks int) (*
 		return nil, fmt.Errorf("extsort: %w", err)
 	}
 	return &Sorter{
-		env:       env,
-		cat:       cat,
-		cmp:       k.Compare,
-		keyer:     k.AppendKey,
-		memBlocks: memBlocks,
-		bufLimit:  (memBlocks - 1) * env.Conf.BlockSize,
-		arena:     newRecArena(env.Dev.Frames(), memBlocks-1),
+		env:           env,
+		cat:           cat,
+		cmp:           k.Compare,
+		keyer:         k.AppendKey,
+		memBlocks:     memBlocks,
+		bufLimit:      (memBlocks - 1) * env.Conf.BlockSize,
+		arena:         newRecArena(env.Dev.Frames(), memBlocks-1),
+		fenceOn:       (env.Conf.FenceIndex || env.Conf.MergeParallel > 0) && k.AppendKey != nil,
+		mergeParallel: env.Conf.MergeParallel,
+		fences:        make(map[*em.Stream]*em.Stream),
 	}, nil
 }
 
@@ -330,7 +341,17 @@ func (s *Sorter) writeRun(batch []entry) (*em.Stream, error) {
 	// pool even when the spill fails mid-run.
 	defer w.Close()
 	var lenBuf [binary.MaxVarintLen64]byte
+	var fences []fence.Entry
+	var off, nextFenceBlock int64
+	bs := int64(s.env.Conf.BlockSize)
 	for _, e := range batch {
+		if s.fenceOn {
+			// One fence per run block: the first record starting in it.
+			if blk := off / bs; blk >= nextFenceBlock {
+				fences = append(fences, fence.Entry{Offset: off, Key: s.keyer(nil, e.rec, 0)})
+				nextFenceBlock = blk + 1
+			}
+		}
 		n := binary.PutUvarint(lenBuf[:], uint64(len(e.rec)))
 		if _, err := w.Write(lenBuf[:n]); err != nil {
 			return nil, err
@@ -338,9 +359,17 @@ func (s *Sorter) writeRun(batch []entry) (*em.Stream, error) {
 		if _, err := w.Write(e.rec); err != nil {
 			return nil, err
 		}
+		off += int64(n) + int64(len(e.rec))
 	}
 	if err := w.Close(); err != nil {
 		return nil, err
+	}
+	if s.fenceOn {
+		// The index spills after the run writer's frame is back: the
+		// working set stays within the batch's grant.
+		if err := s.spillFenceIndex(run, fences); err != nil {
+			return nil, err
+		}
 	}
 	return run, nil
 }
@@ -350,6 +379,15 @@ func (s *Sorter) writeRun(batch []entry) (*em.Stream, error) {
 func (s *Sorter) drain() error {
 	s.wg.Wait()
 	return s.err()
+}
+
+// Runs reports how many runs exist right now. Meaningful after Flush
+// (benchmark harnesses read it between run formation and the merge);
+// mid-Add it may lag in-flight background spills.
+func (s *Sorter) Runs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.runs)
 }
 
 // err reports (without waiting) a worker failure recorded so far.
@@ -432,17 +470,22 @@ func (s *Sorter) Sort() (*Iterator, error) {
 			s.streamedFinal = true
 			return &Iterator{run: m}, nil
 		}
-		var next []*em.Stream
-		for lo := 0; lo < len(s.runs); lo += fanIn {
-			hi := lo + fanIn
-			if hi > len(s.runs) {
-				hi = len(s.runs)
-			}
-			merged, err := s.mergeRuns(s.runs[lo:hi])
+		if len(s.runs) <= fanIn {
+			// Final pass: one merge produces the output run —
+			// range-partitioned across the pool when the fence indexes
+			// allow, on the serial loser tree otherwise; the bytes are
+			// identical either way.
+			merged, err := s.finalMerge(s.runs)
 			if err != nil {
 				return nil, err
 			}
-			next = append(next, merged)
+			s.runs = []*em.Stream{merged}
+			s.mergePasses++
+			continue
+		}
+		next, err := s.mergePass(s.runs, fanIn)
+		if err != nil {
+			return nil, err
 		}
 		s.runs = next
 		s.mergePasses++
@@ -486,14 +529,31 @@ type streamMerger struct {
 // newStreamMerger opens a reader per run and primes the loser tree. On
 // error every already-opened reader is closed.
 func newStreamMerger(s *Sorter, runs []*em.Stream) (*streamMerger, error) {
-	m := &streamMerger{s: s, cursors: make([]mergeCursor, len(runs))}
+	readers := make([]*runReader, len(runs))
 	for i, run := range runs {
 		r, err := newRunReader(run)
 		if err != nil {
-			m.close()
+			for _, rr := range readers[:i] {
+				rr.close()
+			}
 			return nil, err
 		}
+		readers[i] = r
+	}
+	return newStreamMergerReaders(s, readers)
+}
+
+// newStreamMergerReaders primes a loser tree over pre-built readers,
+// taking ownership of them (every reader is closed on error). Cursor index
+// follows reader order, and cursor index is the tie-break — the
+// partitioned merge hands partition slices over in original run order, so
+// equal keys resolve exactly as the serial merge would.
+func newStreamMergerReaders(s *Sorter, readers []*runReader) (*streamMerger, error) {
+	m := &streamMerger{s: s, cursors: make([]mergeCursor, len(readers))}
+	for i, r := range readers {
 		m.cursors[i] = mergeCursor{r: r, idx: i}
+	}
+	for i := range m.cursors {
 		if err := m.load(&m.cursors[i]); err != nil {
 			m.close()
 			return nil, err
@@ -615,6 +675,9 @@ func (s *Sorter) mergeRuns(runs []*em.Stream) (_ *em.Stream, retErr error) {
 		}
 	}()
 	var lenBuf [binary.MaxVarintLen64]byte
+	var fences []fence.Entry
+	var off, nextFenceBlock int64
+	bs := int64(s.env.Conf.BlockSize)
 	for {
 		rec, err := m.next()
 		if err == io.EOF {
@@ -623,6 +686,12 @@ func (s *Sorter) mergeRuns(runs []*em.Stream) (_ *em.Stream, retErr error) {
 		if err != nil {
 			return nil, err
 		}
+		if s.fenceOn {
+			if blk := off / bs; blk >= nextFenceBlock {
+				fences = append(fences, fence.Entry{Offset: off, Key: s.keyer(nil, rec, 0)})
+				nextFenceBlock = blk + 1
+			}
+		}
 		n := binary.PutUvarint(lenBuf[:], uint64(len(rec)))
 		if _, err := w.Write(lenBuf[:n]); err != nil {
 			return nil, err
@@ -630,10 +699,17 @@ func (s *Sorter) mergeRuns(runs []*em.Stream) (_ *em.Stream, retErr error) {
 		if _, err := w.Write(rec); err != nil {
 			return nil, err
 		}
+		off += int64(n) + int64(len(rec))
 	}
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
+	if s.fenceOn {
+		if err := s.spillFenceIndex(out, fences); err != nil {
+			return nil, err
+		}
+	}
+	s.forgetFences(runs)
 	return out, nil
 }
 
@@ -704,10 +780,19 @@ func (it *Iterator) Close() {
 	}
 }
 
-// runReader streams length-prefixed records out of a run.
+// recordByteSource is the byte stream a runReader decodes records from: a
+// whole run (em.StreamReader) or the partitioned merge's stitched view of
+// one partition's slice of a run (chainSource).
+type recordByteSource interface {
+	io.Reader
+	io.ByteReader
+}
+
+// runReader streams length-prefixed records out of a record byte source.
 type runReader struct {
-	sr  *em.StreamReader
-	buf []byte
+	src     recordByteSource
+	closeFn func() // releases the source's device reader, if it has one
+	buf     []byte
 }
 
 func newRunReader(run *em.Stream) (*runReader, error) {
@@ -715,7 +800,7 @@ func newRunReader(run *em.Stream) (*runReader, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &runReader{sr: sr}, nil
+	return &runReader{src: sr, closeFn: func() { sr.Close() }}, nil
 }
 
 // maxRecordLen bounds decoded record lengths against corruption; records
@@ -723,7 +808,7 @@ func newRunReader(run *em.Stream) (*runReader, error) {
 const maxRecordLen = 1 << 30
 
 func (r *runReader) next() ([]byte, error) {
-	n, err := binary.ReadUvarint(r.sr)
+	n, err := binary.ReadUvarint(r.src)
 	if err != nil {
 		return nil, err // io.EOF at a record boundary is the clean end
 	}
@@ -734,10 +819,14 @@ func (r *runReader) next() ([]byte, error) {
 		r.buf = make([]byte, n)
 	}
 	r.buf = r.buf[:n]
-	if _, err := io.ReadFull(r.sr, r.buf); err != nil {
+	if _, err := io.ReadFull(r.src, r.buf); err != nil {
 		return nil, fmt.Errorf("extsort: truncated record: %w", err)
 	}
 	return r.buf, nil
 }
 
-func (r *runReader) close() { r.sr.Close() }
+func (r *runReader) close() {
+	if r.closeFn != nil {
+		r.closeFn()
+	}
+}

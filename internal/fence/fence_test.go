@@ -1,0 +1,298 @@
+package fence
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nexsort/internal/em"
+)
+
+// goldenEntries is a fixed fence index exercising every encoder feature:
+// shared prefixes of varying length, an empty-key fence, multi-byte
+// varint offsets, and equal adjacent keys.
+func goldenEntries() []Entry {
+	return []Entry{
+		{Offset: 0, Key: []byte{}},
+		{Offset: 512, Key: []byte("region\x00alpha\x00")},
+		{Offset: 1024, Key: []byte("region\x00alpha\x00branch\x0001\x00")},
+		{Offset: 1536, Key: []byte("region\x00alpha\x00branch\x0001\x00")},
+		{Offset: 300000, Key: []byte("region\x00beta\x00")},
+		{Offset: 300512, Key: []byte("zz")},
+	}
+}
+
+func TestFenceRoundTrip(t *testing.T) {
+	cases := [][]Entry{
+		nil, // an empty run's index: zero fences
+		{{Offset: 0, Key: []byte("only")}},
+		goldenEntries(),
+	}
+	// A long synthetic index with heavily shared prefixes, like real runs.
+	var long []Entry
+	for i := 0; i < 500; i++ {
+		long = append(long, Entry{
+			Offset: int64(i) * 4096,
+			Key:    []byte(fmt.Sprintf("company\x00dept-%03d\x00emp-%05d\x00", i/50, i)),
+		})
+	}
+	cases = append(cases, long)
+
+	for ci, entries := range cases {
+		enc := Encode(nil, entries)
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", ci, err)
+		}
+		if len(got) != len(entries) {
+			t.Fatalf("case %d: %d entries round-tripped to %d", ci, len(entries), len(got))
+		}
+		for i := range entries {
+			if got[i].Offset != entries[i].Offset || !bytes.Equal(got[i].Key, entries[i].Key) {
+				t.Fatalf("case %d entry %d: got {%d %q}, want {%d %q}",
+					ci, i, got[i].Offset, got[i].Key, entries[i].Offset, entries[i].Key)
+			}
+		}
+		if again := Encode(nil, got); !bytes.Equal(again, enc) {
+			t.Fatalf("case %d: encoding is not deterministic across a round trip", ci)
+		}
+	}
+}
+
+// TestFenceGolden pins the serialized format against a checked-in golden
+// file: any byte-level change to the encoding is a format break and must
+// come with a Version bump and a new golden, not a silent rewrite.
+func TestFenceGolden(t *testing.T) {
+	enc := Encode(nil, goldenEntries())
+	path := filepath.Join("testdata", "fence_golden.bin")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading the golden file: %v (regenerate by writing Encode(nil, goldenEntries()) to %s)", err, path)
+	}
+	if !bytes.Equal(enc, want) {
+		t.Fatalf("encoding of the golden entries changed:\ngot  %x\nwant %x\nbump Version and regenerate %s if this is intentional", enc, want, path)
+	}
+	// And the golden bytes still decode to the golden entries.
+	got, err := Decode(want)
+	if err != nil {
+		t.Fatalf("golden decode: %v", err)
+	}
+	entries := goldenEntries()
+	for i := range entries {
+		if got[i].Offset != entries[i].Offset || !bytes.Equal(got[i].Key, entries[i].Key) {
+			t.Fatalf("golden entry %d: got {%d %q}, want {%d %q}",
+				i, got[i].Offset, got[i].Key, entries[i].Offset, entries[i].Key)
+		}
+	}
+}
+
+// TestFenceDecodeErrors enumerates the rejection paths: every malformed
+// input must surface the typed corruption taxonomy (errors.Is
+// em.ErrCorruptBlock), never a panic or a silent partial decode.
+func TestFenceDecodeErrors(t *testing.T) {
+	valid := Encode(nil, goldenEntries())
+	mutate := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), valid...)
+		return f(b)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short magic", []byte("NXF")},
+		{"bad magic", mutate(func(b []byte) []byte { b[0] = 'X'; return b })},
+		{"future version", mutate(func(b []byte) []byte { b[4] = Version + 1; return b })},
+		{"truncated count", []byte("NXFI\x01")[:5]},
+		{"dishonest count", []byte("NXFI\x01\xff\xff\x7f")},
+		{"truncated mid-entry", valid[:len(valid)-3]},
+		{"trailing garbage", append(append([]byte(nil), valid...), 0)},
+		{"first fence not at 0", mutate(func(b []byte) []byte { b[6] = 1; return b })},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Decode(tc.data)
+			if err == nil {
+				t.Fatalf("decode accepted %q (%d entries)", tc.data, len(got))
+			}
+			if !errors.Is(err, em.ErrCorruptBlock) {
+				t.Fatalf("error %v is not a typed corruption error", err)
+			}
+			var cbe *em.CorruptBlockError
+			if !errors.As(err, &cbe) || cbe.Block != -1 {
+				t.Fatalf("error %v does not carry the index-level block marker", err)
+			}
+		})
+	}
+
+	// The empty index is NOT an error: an empty run legitimately has no
+	// fences, and its four-byte-plus-header index round-trips clean.
+	if got, err := Decode(Encode(nil, nil)); err != nil || len(got) != 0 {
+		t.Fatalf("empty index: got %d entries, err %v", len(got), err)
+	}
+}
+
+func TestSelectSplitters(t *testing.T) {
+	key := func(s string) []byte { return []byte(s) }
+
+	t.Run("degenerate", func(t *testing.T) {
+		if got := SelectSplitters(nil, 8); got != nil {
+			t.Fatalf("no samples: got %d splitters", len(got))
+		}
+		if got := SelectSplitters([]Sample{{Key: key("a"), Weight: 10}}, 1); got != nil {
+			t.Fatalf("p=1: got %d splitters", len(got))
+		}
+		if got := SelectSplitters([]Sample{{Key: key("a"), Weight: 0}}, 4); got != nil {
+			t.Fatalf("zero weight: got %d splitters", len(got))
+		}
+		// All weight on one key: no cut can help, so no splitters.
+		one := []Sample{{Key: key("k"), Weight: 100}, {Key: key("k"), Weight: 50}}
+		if got := SelectSplitters(one, 8); len(got) != 0 {
+			t.Fatalf("single distinct key: got %d splitters", len(got))
+		}
+	})
+
+	t.Run("balance", func(t *testing.T) {
+		var samples []Sample
+		for i := 0; i < 256; i++ {
+			samples = append(samples, Sample{Key: []byte{byte(i)}, Weight: 100})
+		}
+		sp := SelectSplitters(samples, 4)
+		if len(sp) != 3 {
+			t.Fatalf("got %d splitters, want 3", len(sp))
+		}
+		for i, want := range []byte{64, 128, 192} {
+			if len(sp[i]) != 1 || sp[i][0] != want {
+				t.Fatalf("splitter %d = %v, want [%d]", i, sp[i], want)
+			}
+		}
+	})
+
+	t.Run("strictly increasing and deterministic", func(t *testing.T) {
+		var samples []Sample
+		for i := 0; i < 100; i++ {
+			samples = append(samples, Sample{Key: key(fmt.Sprintf("k%02d", i%10)), Weight: int64(1 + i%7)})
+		}
+		a := SelectSplitters(samples, 8)
+		// Same multiset, reversed arrival order.
+		rev := make([]Sample, len(samples))
+		for i, s := range samples {
+			rev[len(samples)-1-i] = s
+		}
+		b := SelectSplitters(rev, 8)
+		if len(a) != len(b) {
+			t.Fatalf("splitter count depends on sample order: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if !bytes.Equal(a[i], b[i]) {
+				t.Fatalf("splitter %d depends on sample order: %q vs %q", i, a[i], b[i])
+			}
+			if i > 0 && bytes.Compare(a[i-1], a[i]) >= 0 {
+				t.Fatalf("splitters not strictly increasing at %d: %q then %q", i, a[i-1], a[i])
+			}
+		}
+	})
+
+	t.Run("skew collapses cuts instead of emitting duplicates", func(t *testing.T) {
+		samples := []Sample{
+			{Key: key("a"), Weight: 1},
+			{Key: key("b"), Weight: 1000}, // almost everything
+			{Key: key("c"), Weight: 1},
+		}
+		sp := SelectSplitters(samples, 8)
+		for i := 1; i < len(sp); i++ {
+			if bytes.Compare(sp[i-1], sp[i]) >= 0 {
+				t.Fatalf("duplicate or decreasing splitters under skew: %q then %q", sp[i-1], sp[i])
+			}
+		}
+	})
+}
+
+// FuzzFenceRoundtrip: any structurally valid entry list must encode and
+// decode back to itself, deterministically.
+func FuzzFenceRoundtrip(f *testing.F) {
+	f.Add([]byte("alpha"), []byte("beta"), int64(512))
+	f.Add([]byte{}, []byte{0}, int64(1))
+	f.Fuzz(func(t *testing.T, k1, k2 []byte, gap int64) {
+		if gap <= 0 || gap > 1<<40 || len(k1) > 4096 || len(k2) > 4096 {
+			t.Skip()
+		}
+		if bytes.Compare(k1, k2) > 0 {
+			k1, k2 = k2, k1
+		}
+		entries := []Entry{
+			{Offset: 0, Key: k1},
+			{Offset: gap, Key: k2},
+		}
+		enc := Encode(nil, entries)
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode of a fresh encoding failed: %v", err)
+		}
+		if len(got) != 2 || got[0].Offset != 0 || got[1].Offset != gap ||
+			!bytes.Equal(got[0].Key, k1) || !bytes.Equal(got[1].Key, k2) {
+			t.Fatalf("roundtrip changed the entries: %+v", got)
+		}
+		if !bytes.Equal(Encode(nil, got), enc) {
+			t.Fatal("encoding is not deterministic")
+		}
+	})
+}
+
+// FuzzFenceDecode throws arbitrary bytes at the decoder: it must never
+// panic — every outcome is a successful decode or a typed corruption
+// error, and the same input always produces the same outcome.
+func FuzzFenceDecode(f *testing.F) {
+	f.Add(Encode(nil, goldenEntries()))
+	f.Add(Encode(nil, nil))
+	f.Add([]byte("NXFI"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip()
+		}
+		got1, err1 := Decode(data)
+		got2, err2 := Decode(data)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("decode not deterministic: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			if !errors.Is(err1, em.ErrCorruptBlock) {
+				t.Fatalf("rejection %v is not a typed corruption error", err1)
+			}
+			return
+		}
+		if len(got1) != len(got2) {
+			t.Fatal("successful decodes disagree")
+		}
+		// Accepted indexes must satisfy the invariants Decode promises.
+		for i := range got1 {
+			if i == 0 && got1[0].Offset != 0 {
+				t.Fatal("accepted index whose first fence is not at offset 0")
+			}
+			if i > 0 {
+				if got1[i].Offset <= got1[i-1].Offset {
+					t.Fatal("accepted index with non-increasing offsets")
+				}
+				if bytes.Compare(got1[i].Key, got1[i-1].Key) < 0 {
+					t.Fatal("accepted index with decreasing keys")
+				}
+			}
+		}
+		// And a valid decode re-encodes to an equivalent index (the bytes
+		// may differ — uvarints have non-minimal spellings — but the
+		// canonical re-encoding must decode back to the same entries).
+		re, err := Decode(Encode(nil, got1))
+		if err != nil || len(re) != len(got1) {
+			t.Fatalf("canonical re-encoding does not round-trip: %v", err)
+		}
+		for i := range got1 {
+			if re[i].Offset != got1[i].Offset || !bytes.Equal(re[i].Key, got1[i].Key) {
+				t.Fatal("canonical re-encoding changed the entries")
+			}
+		}
+	})
+}

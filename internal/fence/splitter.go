@@ -1,0 +1,78 @@
+package fence
+
+import (
+	"bytes"
+	"sort"
+)
+
+// Sample is one splitter-selection observation: a fence key and the
+// estimated number of run bytes governed by it (the gap to the next fence
+// in the same run, or to the run's end).
+type Sample struct {
+	Key    []byte
+	Weight int64
+}
+
+// SelectSplitters picks at most p-1 byte-comparable splitter keys from the
+// fence samples of all runs, balancing estimated bytes per partition. The
+// returned splitters are strictly increasing and deterministic in the
+// sample multiset (samples may arrive in any order). Splitter S assigns
+// every record with key >= S to the partitions right of S and every record
+// with key < S to the left — records comparing equal to each other can
+// therefore never straddle a splitter, which is what preserves the serial
+// loser tree's run-index tie-break and makes the partitioned output
+// byte-identical (DESIGN.md §17).
+//
+// Fewer than p-1 splitters (down to none) are returned when the samples
+// cannot support more distinct cuts — few distinct keys, or weight
+// concentrated on one key.
+func SelectSplitters(samples []Sample, p int) [][]byte {
+	if p <= 1 || len(samples) == 0 {
+		return nil
+	}
+	sorted := make([]Sample, len(samples))
+	copy(sorted, samples)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return bytes.Compare(sorted[i].Key, sorted[j].Key) < 0
+	})
+	// Merge equal keys, and compute for each distinct key the cumulative
+	// weight strictly before it.
+	keys := make([][]byte, 0, len(sorted))
+	before := make([]int64, 0, len(sorted))
+	var cum int64
+	for i := 0; i < len(sorted); {
+		j := i
+		var w int64
+		for j < len(sorted) && bytes.Equal(sorted[j].Key, sorted[i].Key) {
+			w += sorted[j].Weight
+			j++
+		}
+		keys = append(keys, sorted[i].Key)
+		before = append(before, cum)
+		cum += w
+		i = j
+	}
+	total := cum
+	if total <= 0 {
+		return nil
+	}
+	out := make([][]byte, 0, p-1)
+	lastJ := 0
+	for i := 1; i < p; i++ {
+		target := total * int64(i) / int64(p)
+		// Smallest distinct key whose strictly-before weight reaches the
+		// target: cutting there puts ~target bytes left of the splitter.
+		j := sort.Search(len(keys), func(k int) bool { return before[k] >= target })
+		if j <= lastJ {
+			// This cut collapses onto an earlier one (weight concentrated on
+			// few keys): skip it rather than force an empty partition.
+			continue
+		}
+		if j >= len(keys) {
+			break
+		}
+		out = append(out, append([]byte(nil), keys[j]...))
+		lastJ = j
+	}
+	return out
+}

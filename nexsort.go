@@ -217,6 +217,22 @@ type Config struct {
 	// exhaustion) surface at the next operation on the same stream with
 	// the usual typed taxonomy. Default 0: synchronous writes.
 	WriteBehind int
+	// MergeParallel range-partitions the final merge of every external
+	// sort into up to this many key ranges, merged concurrently on the
+	// worker pool and concatenated in key order (DESIGN.md §17). Implies
+	// FenceIndex. The sorted output is byte-identical and the counted
+	// logical block transfers per category are identical at every
+	// setting > 0 — and identical to the serial merge except for the
+	// fence-index side stream's own small category, so like Parallelism
+	// it buys wall-clock time only. Default 0: the serial single-tree
+	// final merge, the paper's model.
+	MergeParallel int
+	// FenceIndex emits a fence-key sparse index beside every spilled run
+	// (the first normalized key of each run block, stored as a tiny
+	// compressed side stream): the machinery MergeParallel partitions
+	// with. On its own it adds the index streams without changing the
+	// merge. Default off.
+	FenceIndex bool
 }
 
 // Defaults for Config.
@@ -256,6 +272,8 @@ func (c Config) normalize() (em.Config, error) {
 		CompressSpill:      c.CompressSpill,
 		ReadAhead:          c.ReadAhead,
 		WriteBehind:        c.WriteBehind,
+		MergeParallel:      c.MergeParallel,
+		FenceIndex:         c.FenceIndex,
 	}
 	if err := cfg.Validate(); err != nil {
 		return cfg, err

@@ -190,6 +190,116 @@ func TestCompressedSpillConformance(t *testing.T) {
 	}
 }
 
+// TestPartitionedMergeConformance is the range-partitioned-merge axis of
+// the differential suite (DESIGN.md §17): partitioning the final merge by
+// key range is a wall-clock optimization and nothing else. Against the
+// plain serial sorter the output bytes must be identical and every
+// logical ledger category except the fence-index side stream must be
+// untouched; across partition counts the whole logical ledger — fence
+// reads, splitter samples and partitioned-merge counts included — must
+// not move at all, with or without spill compression, at pipeline depths
+// 0 and 8. The merge-sort trials separately assert that a partitioned
+// merge actually ran, so the invariance is never vacuously true.
+func TestPartitionedMergeConformance(t *testing.T) {
+	doc, _, err := chaostest.Doc(300, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := keys.ByAttrOrTag("key")
+	depths := []struct{ ra, wb int }{{0, 0}, {8, 8}}
+
+	// logical projects a snapshot onto the counters that must be invariant
+	// across partition counts: the logical block ledger plus the
+	// partitioned-merge bookkeeping. The overlap counters are the
+	// pipeline's own traffic and PrefetchWasted legitimately varies with
+	// where the planner's scans end, so they are projected out.
+	logical := func(snap map[string]em.IOCount) map[string]em.IOCount {
+		out := make(map[string]em.IOCount, len(snap))
+		for k, c := range snap {
+			out[k] = em.IOCount{
+				Reads: c.Reads, Writes: c.Writes,
+				ReadBytes: c.ReadBytes, WriteBytes: c.WriteBytes,
+				CacheHits: c.CacheHits, CacheMisses: c.CacheMisses,
+				PartitionedMerges: c.PartitionedMerges,
+				SplitterSamples:   c.SplitterSamples,
+			}
+		}
+		return out
+	}
+	// sansFence drops the fence-index category and the partitioned-merge
+	// bookkeeping: what remains must match the plain serial sorter's
+	// ledger exactly — partitioning may add its side stream but may not
+	// move a single run or output block transfer.
+	sansFence := func(snap map[string]em.IOCount) map[string]em.IOCount {
+		out := make(map[string]em.IOCount, len(snap))
+		for k, c := range snap {
+			if k == em.CatFenceIndex.String() {
+				continue
+			}
+			c.PartitionedMerges, c.SplitterSamples = 0, 0
+			out[k] = c
+		}
+		return out
+	}
+
+	for _, compress := range []bool{false, true} {
+		name := "plain"
+		if compress {
+			name = "compressed"
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, algo := range chaostest.Algorithms {
+				for _, d := range depths {
+					env := diffEnv(24, 2)
+					env.CompressSpill = compress
+					env.ReadAhead, env.WriteBehind = d.ra, d.wb
+					serial := chaostest.Run(doc, crit, chaostest.Trial{Algorithm: algo, Env: env})
+					if serial.PanicValue != nil || serial.Err != nil {
+						t.Fatalf("%v ra=%d wb=%d serial: panic=%v err=%v", algo, d.ra, d.wb, serial.PanicValue, serial.Err)
+					}
+					serialIOs := logical(serial.Stats.Snapshot())
+
+					var baseIOs map[string]em.IOCount // partitioned ledger at P=1
+					for _, p := range parallelLevels {
+						env := diffEnv(24, 2)
+						env.CompressSpill = compress
+						env.ReadAhead, env.WriteBehind = d.ra, d.wb
+						env.MergeParallel = p
+						o := chaostest.Run(doc, crit, chaostest.Trial{Algorithm: algo, Env: env})
+						if o.PanicValue != nil {
+							t.Fatalf("%v ra=%d wb=%d P=%d: panic: %v", algo, d.ra, d.wb, p, o.PanicValue)
+						}
+						if o.Err != nil {
+							t.Fatalf("%v ra=%d wb=%d P=%d: %v", algo, d.ra, d.wb, p, o.Err)
+						}
+						if o.BudgetInUse != 0 || o.FramesLive != 0 {
+							t.Errorf("%v ra=%d wb=%d P=%d: leaked %d budget blocks, %d frames",
+								algo, d.ra, d.wb, p, o.BudgetInUse, o.FramesLive)
+						}
+						if !bytes.Equal(o.Output, serial.Output) {
+							t.Errorf("%v ra=%d wb=%d P=%d: output differs from the serial merge", algo, d.ra, d.wb, p)
+						}
+						got := logical(o.Stats.Snapshot())
+						if algo == chaostest.MergeSort && o.Stats.TotalPartitionedMerges() == 0 {
+							t.Errorf("%v ra=%d wb=%d P=%d: no partitioned merge ran — the conformance check is vacuous", algo, d.ra, d.wb, p)
+						}
+						if baseIOs == nil {
+							baseIOs = got
+						} else if !reflect.DeepEqual(got, baseIOs) {
+							t.Errorf("%v ra=%d wb=%d P=%d: partition count moved the logical ledger\nP=1: %v\nP=%d: %v",
+								algo, d.ra, d.wb, p, baseIOs, p, got)
+						}
+						if gotSerial := sansFence(got); !reflect.DeepEqual(gotSerial, serialIOs) {
+							t.Errorf("%v ra=%d wb=%d P=%d: partitioning moved the non-fence ledger\nserial:      %v\npartitioned: %v",
+								algo, d.ra, d.wb, p, serialIOs, gotSerial)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // runNexsortOpts drives core.Sort directly so the paper's optional
 // techniques (compaction, graceful degeneration) can be switched on —
 // chaostest.Run always sorts with default options.
